@@ -1,0 +1,18 @@
+//! Criterion kernel for E10: the Sprinkling transformation plus the coupling
+//! check on 2-level DAGs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bo3_bench::e10_sprinkling_figure::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_sprinkling");
+    group.sample_size(10);
+    group.bench_function("sprinkle_and_couple_2level", |b| {
+        b.iter(|| measure(8, 100, 0xB10));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion kernel for E11: a traced run plus its phase segmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bo3_bench::e11_phase_structure::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_phase_structure");
+    group.sample_size(10);
+    group.bench_function("trace_and_segment", |b| {
+        b.iter(|| measure(4_000, 0.05, 0xB11));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion kernel for E12: a consensus run of Best-of-k for two values of k
+//! at small bias.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_best_of_k");
+    group.sample_size(10);
+    for &k in &[3usize, 9] {
+        group.bench_with_input(BenchmarkId::new("consensus_k", k), &k, |b, &k| {
+            let protocol = if k == 3 {
+                ProtocolSpec::BestOfThree
+            } else {
+                ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn }
+            };
+            let exp = Experiment {
+                name: format!("bench/k={k}"),
+                graph: GraphSpec::RandomRegular { n: 4_000, d: 32 },
+                protocol,
+                initial: InitialCondition::BernoulliWithBias { delta: 0.04 },
+                schedule: Schedule::Synchronous,
+                stopping: StoppingCondition::consensus_within(20_000),
+                replicas: 1,
+                seed: 0xB12,
+                threads: 1,
+            };
+            let graph = exp.build_graph().expect("graph");
+            b.iter(|| exp.run_on(&graph).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion kernel for E1: a full Best-of-Three consensus run on a dense
+//! G(n, p) graph in the Theorem 1 regime, at two sizes so the double-log
+//! scaling is visible in the timing report as well.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_consensus_scaling");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        group.bench_with_input(BenchmarkId::new("best_of_three_consensus", n), &n, |b, &n| {
+            let exp = Experiment::theorem_one(
+                format!("bench/n={n}"),
+                GraphSpec::DenseForAlpha { n, alpha: 0.7 },
+                0.05,
+                1,
+                0xB1,
+            );
+            let graph = exp.build_graph().expect("graph");
+            b.iter(|| exp.run_on(&graph).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion kernel for E2: consensus runs at a large and a small initial
+//! bias on the same complete graph — the timing gap is the O(log 1/delta)
+//! additive term.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delta_sweep");
+    group.sample_size(10);
+    for &delta in &[0.2f64, 0.0125] {
+        group.bench_with_input(
+            BenchmarkId::new("consensus_at_delta", format!("{delta}")),
+            &delta,
+            |b, &delta| {
+                let exp = Experiment::theorem_one(
+                    format!("bench/delta={delta}"),
+                    GraphSpec::Complete { n: 5_000 },
+                    delta,
+                    1,
+                    0xB2,
+                );
+                let graph = exp.build_graph().expect("graph");
+                b.iter(|| exp.run_on(&graph).expect("run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

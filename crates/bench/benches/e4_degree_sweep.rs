@@ -1,0 +1,31 @@
+//! Criterion kernel for E4: random regular graph generation plus a consensus
+//! run at two degrees, matching the degree sweep's cost profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_bench::e04_degree_sweep::degree_for;
+use bo3_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_degree_sweep");
+    group.sample_size(10);
+    let n = 4_000usize;
+    for &alpha in &[0.4f64, 0.8] {
+        let d = degree_for(n, alpha);
+        group.bench_with_input(BenchmarkId::new("regular_consensus", d), &d, |b, &d| {
+            let exp = Experiment::theorem_one(
+                format!("bench/d={d}"),
+                GraphSpec::RandomRegular { n, d },
+                0.1,
+                1,
+                0xB4,
+            );
+            let graph = exp.build_graph().expect("graph");
+            b.iter(|| exp.run_on(&graph).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

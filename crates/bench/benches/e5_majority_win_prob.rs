@@ -1,0 +1,35 @@
+//! Criterion kernel for E5: a single replica of the majority-win estimate for
+//! both protocols on the small complete graph used by the experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_majority_win_prob");
+    group.sample_size(10);
+    for (label, protocol, cap) in [
+        ("voter", ProtocolSpec::Voter, 2_000_000usize),
+        ("best_of_three", ProtocolSpec::BestOfThree, 50_000),
+    ] {
+        group.bench_function(BenchmarkId::new("single_replica", label), |b| {
+            let exp = Experiment {
+                name: "bench/e5".into(),
+                graph: GraphSpec::Complete { n: 80 },
+                protocol,
+                initial: InitialCondition::ExactCount { blue: 32 },
+                schedule: Schedule::Synchronous,
+                stopping: StoppingCondition::consensus_within(cap),
+                replicas: 1,
+                seed: 0xB5,
+                threads: 1,
+            };
+            let graph = exp.build_graph().expect("graph");
+            b.iter(|| exp.run_on(&graph).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

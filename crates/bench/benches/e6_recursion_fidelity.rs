@@ -1,0 +1,18 @@
+//! Criterion kernel for E6: a traced trajectory plus its comparison against
+//! the equation (1) recursion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bo3_bench::e06_recursion_fidelity::max_gap;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_recursion_fidelity");
+    group.sample_size(10);
+    group.bench_function("traced_run_vs_eq1", |b| {
+        b.iter(|| max_gap(10_000, 0.1, 0.01, 0xB6));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion kernel for E7: voting-DAG sampling plus collision accounting on
+//! a random regular graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bo3_bench::e07_collision_bounds::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_collision_bounds");
+    group.sample_size(10);
+    for &d in &[32usize, 256] {
+        group.bench_with_input(BenchmarkId::new("dag_collision_stats", d), &d, |b, &d| {
+            b.iter(|| measure(d, 20, 0xB7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion kernel for E8: cover-time estimation of the k = 3 COBRA walk on
+//! the hypercube.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bo3_dag::cobra::estimate_cover_time;
+use bo3_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_cobra_walk");
+    group.sample_size(10);
+    let graph = generators::hypercube(9).expect("graph");
+    group.bench_function("k3_cover_hypercube_512", |b| {
+        let mut rng = StdRng::seed_from_u64(0xB8);
+        b.iter(|| estimate_cover_time(&graph, 0, 3, 50_000, 3, &mut rng).expect("cover"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

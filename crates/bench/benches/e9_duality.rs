@@ -1,0 +1,21 @@
+//! Criterion kernel for E9: one duality check (forward process vs voting-DAG
+//! colouring) at a reduced trial budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bo3_core::prelude::*;
+use bo3_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_duality");
+    group.sample_size(10);
+    let graph = generators::complete(40);
+    group.bench_function("duality_check_500_trials", |b| {
+        let check = DualityCheck { vertex: 0, rounds: 3, p_blue: 0.4, trials: 500, seed: 0xB9 };
+        b.iter(|| check.run(&graph).expect("duality"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! E10: the Sprinkling process on 2-level DAGs (Figure 1)
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e10_sprinkling_figure -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e10_sprinkling_figure::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E11: the three-phase structure of Lemma 4 in measured trajectories
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e11_phase_structure -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e11_phase_structure::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

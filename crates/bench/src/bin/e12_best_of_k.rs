@@ -1,0 +1,9 @@
+//! E12: Best-of-3 vs Best-of-k (odd k >= 5) at small bias
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e12_best_of_k -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e12_best_of_k::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E1: consensus time vs n at fixed delta (Theorem 1's O(log log n) term)
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e1_consensus_scaling -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e01_consensus_scaling::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E2: consensus time vs the initial bias delta (the O(log 1/delta) term)
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e2_delta_sweep -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e02_delta_sweep::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E3: Best-of-3 against the voter model, Best-of-2/5 and local majority
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e3_protocol_comparison -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e03_protocol_comparison::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E4: the minimum-degree condition d = n^alpha on random regular graphs
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e4_degree_sweep -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e04_degree_sweep::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E5: probability the initial majority wins, Best-of-3 vs the voter model
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e5_majority_win_prob -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e05_majority_win_prob::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

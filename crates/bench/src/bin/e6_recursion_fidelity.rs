@@ -1,0 +1,9 @@
+//! E6: equation (1) against the measured blue-fraction trajectory
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e6_recursion_fidelity -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e06_recursion_fidelity::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E7: voting-DAG collision statistics vs the Lemma 7 bounds
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e7_collision_bounds -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e07_collision_bounds::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

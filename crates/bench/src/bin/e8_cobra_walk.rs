@@ -1,0 +1,9 @@
+//! E8: COBRA-walk occupancy growth and cover times (Remark 2)
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e8_cobra_walk -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e08_cobra_walk::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,0 +1,9 @@
+//! E9: the time-reversal duality between the forward process and the voting-DAG
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e9_duality -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e09_duality::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

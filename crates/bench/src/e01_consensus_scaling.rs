@@ -1,0 +1,101 @@
+//! E1 — consensus time vs. `n` at fixed `δ` (Theorem 1's `O(log log n)` term).
+//!
+//! Best-of-Three on dense `G(n, p)` graphs with `p = n^{α−1}` (α = 0.7) and
+//! `δ = 0.05`.  The paper predicts the consensus time grows doubly
+//! logarithmically in `n`: the measured column should be nearly flat while
+//! `n` grows by orders of magnitude, and red must win every replica.
+
+use bo3_core::prelude::*;
+use bo3_core::report::Table;
+
+use crate::Scale;
+
+/// The `n` values swept at each scale.
+pub fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1_000, 4_000, 16_000],
+        Scale::Paper => vec![1_000, 4_000, 16_000, 64_000, 128_000],
+    }
+}
+
+fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 5,
+        Scale::Paper => 30,
+    }
+}
+
+/// Runs the sweep and returns one row per `n`.
+pub fn run(scale: Scale) -> Table {
+    let alpha = 0.7;
+    let delta = 0.05;
+    let results: Vec<ExperimentResult> = sizes(scale)
+        .into_iter()
+        .map(|n| {
+            Experiment::theorem_one(
+                format!("E1/n={n}"),
+                GraphSpec::DenseForAlpha { n, alpha },
+                delta,
+                replicas(scale),
+                0xE1 + n as u64,
+            )
+            .run()
+            .expect("E1 experiment failed")
+        })
+        .collect();
+    results_table("E1: consensus time vs n (alpha = 0.7, delta = 0.05)", &results)
+}
+
+/// The headline check used by tests: consensus time grows sub-logarithmically
+/// and red sweeps.
+pub fn verify(scale: Scale) -> bool {
+    let alpha = 0.7;
+    let delta = 0.05;
+    let mut means = Vec::new();
+    for n in sizes(scale) {
+        let r = Experiment::theorem_one(
+            format!("E1v/n={n}"),
+            GraphSpec::DenseForAlpha { n, alpha },
+            delta,
+            replicas(scale),
+            0xE1 + n as u64,
+        )
+        .run()
+        .expect("E1 experiment failed");
+        // Theorem 1 is asymptotic: at the smallest sizes the initial-draw and
+        // per-round sampling noise (~1/√n) are comparable to the drift 0.5·δ,
+        // so occasional blue wins are legitimate finite-size behaviour (the
+        // E1 table reports the raw win rates). Demand a clean sweep only once
+        // n is comfortably past that regime, and a red majority of replicas
+        // below it.
+        if n >= 4_000 && !r.red_swept() {
+            return false;
+        }
+        if r.red_win_rate().unwrap_or(0.0) < 0.5 {
+            return false;
+        }
+        means.push(r.mean_rounds().expect("consensus reached"));
+    }
+    // The largest instance is 16x (or 500x) bigger than the smallest but the
+    // consensus time may grow only by a few rounds.
+    let first = means.first().copied().unwrap_or(0.0);
+    let last = means.last().copied().unwrap_or(0.0);
+    last <= first + 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_table_has_one_row_per_size() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), sizes(Scale::Quick).len());
+        assert!(table.to_csv().contains("E1/n=1000"));
+    }
+
+    #[test]
+    fn consensus_time_is_nearly_flat_in_n() {
+        assert!(verify(Scale::Quick));
+    }
+}

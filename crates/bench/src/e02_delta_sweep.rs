@@ -1,0 +1,95 @@
+//! E2 — consensus time vs. the initial bias `δ` (the `O(log δ⁻¹)` term).
+//!
+//! On a fixed dense graph, halving `δ` repeatedly should add roughly a
+//! constant number of rounds each time (logarithmic dependence), and red must
+//! keep winning even for very small `δ` — the regime where the Best-of-k
+//! (k ≥ 5) analysis of [1] does not apply but the paper's does.
+
+use bo3_core::prelude::*;
+use bo3_core::report::Table;
+
+use crate::Scale;
+
+/// The δ values swept.
+pub fn deltas(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.2, 0.05, 0.0125],
+        Scale::Paper => vec![0.2, 0.1, 0.05, 0.025, 0.0125, 0.00625, 0.003125, 0.001],
+    }
+}
+
+fn graph_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 8_000,
+        Scale::Paper => 20_000,
+    }
+}
+
+fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 5,
+        Scale::Paper => 50,
+    }
+}
+
+/// Runs the sweep; one row per δ.
+pub fn run(scale: Scale) -> Table {
+    let n = graph_size(scale);
+    let results: Vec<ExperimentResult> = deltas(scale)
+        .into_iter()
+        .map(|delta| {
+            Experiment::theorem_one(
+                format!("E2/delta={delta}"),
+                GraphSpec::Complete { n },
+                delta,
+                replicas(scale),
+                0xE2,
+            )
+            .run()
+            .expect("E2 experiment failed")
+        })
+        .collect();
+    results_table("E2: consensus time vs delta (complete graph)", &results)
+}
+
+/// Check: consensus time grows as δ shrinks, but only additively (log δ⁻¹).
+pub fn verify(scale: Scale) -> bool {
+    let n = graph_size(scale);
+    let mut means = Vec::new();
+    for delta in deltas(scale) {
+        let r = Experiment::theorem_one(
+            format!("E2v/delta={delta}"),
+            GraphSpec::Complete { n },
+            delta,
+            replicas(scale),
+            0xE2,
+        )
+        .run()
+        .expect("E2 experiment failed");
+        if !r.red_swept() {
+            return false;
+        }
+        means.push(r.mean_rounds().expect("consensus reached"));
+    }
+    // Monotone-ish growth, and a 16x shrink of delta costs fewer than ~10
+    // extra rounds (each halving costs roughly log_{5/4}(2) ≈ 3 rounds).
+    let first = means.first().copied().unwrap_or(0.0);
+    let last = means.last().copied().unwrap_or(0.0);
+    last >= first && (last - first) <= 14.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_table_shape() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), deltas(Scale::Quick).len());
+    }
+
+    #[test]
+    fn smaller_delta_costs_only_additive_rounds() {
+        assert!(verify(Scale::Quick));
+    }
+}

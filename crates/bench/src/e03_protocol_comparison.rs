@@ -1,0 +1,115 @@
+//! E3 — protocol comparison: Best-of-3 against the baselines of §1.
+//!
+//! Same dense graph, same initial bias, five protocols.  The qualitative
+//! shape the paper's introduction describes: the voter model is orders of
+//! magnitude slower (and does not amplify the majority), Best-of-2 and
+//! Best-of-3 are both double-logarithmic with Best-of-3 marginally faster,
+//! larger odd `k` is faster still, and full local majority is the (more
+//! expensive) speed limit.
+
+use bo3_core::prelude::*;
+use bo3_core::report::Table;
+
+use crate::Scale;
+
+fn graph_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3_000,
+        Scale::Paper => 50_000,
+    }
+}
+
+fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Paper => 30,
+    }
+}
+
+/// Runs every protocol of the comparison set on the same graph.
+pub fn run(scale: Scale) -> Table {
+    let n = graph_size(scale);
+    let delta = 0.08;
+    let mut results = Vec::new();
+    for (label, protocol) in comparison_protocols() {
+        let is_voter = matches!(protocol, ProtocolSpec::Voter);
+        let experiment = Experiment {
+            name: format!("E3/{label}"),
+            graph: GraphSpec::DenseForAlpha { n, alpha: 0.75 },
+            protocol,
+            initial: InitialCondition::BernoulliWithBias { delta },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(if is_voter { 3_000_000 } else { 20_000 }),
+            replicas: if is_voter { 2.min(replicas(scale)) } else { replicas(scale) },
+            seed: 0xE3,
+            threads: 0,
+        };
+        results.push(experiment.run().expect("E3 experiment failed"));
+    }
+    results_table("E3: protocol comparison on a dense graph", &results)
+}
+
+/// Check the ordering the paper describes: voter ≫ best-of-2 ≥ best-of-3 ≥
+/// best-of-5 ≥ local-majority in consensus time.
+pub fn verify(scale: Scale) -> bool {
+    let table_rows: Vec<(String, f64)> = {
+        let n = graph_size(scale);
+        let delta = 0.08;
+        comparison_protocols()
+            .into_iter()
+            .map(|(label, protocol)| {
+                let is_voter = matches!(protocol, ProtocolSpec::Voter);
+                let experiment = Experiment {
+                    name: format!("E3v/{label}"),
+                    graph: GraphSpec::DenseForAlpha { n, alpha: 0.75 },
+                    protocol,
+                    initial: InitialCondition::BernoulliWithBias { delta },
+                    schedule: Schedule::Synchronous,
+                    stopping: StoppingCondition::consensus_within(if is_voter {
+                        3_000_000
+                    } else {
+                        20_000
+                    }),
+                    replicas: if is_voter { 2 } else { replicas(scale) },
+                    seed: 0xE3,
+                    threads: 0,
+                };
+                let r = experiment.run().expect("E3 experiment failed");
+                (label.to_string(), r.mean_rounds().unwrap_or(f64::INFINITY))
+            })
+            .collect()
+    };
+    let get = |name: &str| {
+        table_rows
+            .iter()
+            .find(|(l, _)| l == name)
+            .map(|(_, m)| *m)
+            .unwrap_or(f64::INFINITY)
+    };
+    let voter = get("voter");
+    let bo2 = get("best-of-2");
+    let bo3 = get("best-of-3");
+    let bo5 = get("best-of-5");
+    let majority = get("local-majority");
+    // Voter is at least an order of magnitude slower than Best-of-3.
+    voter > 10.0 * bo3 && bo2 + 1.0 >= bo3 && bo3 + 1.0 >= bo5 && bo5 + 0.5 >= majority
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_protocol_rows() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), 5);
+        let csv = table.to_csv();
+        assert!(csv.contains("E3/voter"));
+        assert!(csv.contains("E3/best-of-3"));
+    }
+
+    #[test]
+    fn protocol_ordering_matches_the_paper() {
+        assert!(verify(Scale::Quick));
+    }
+}

@@ -1,0 +1,113 @@
+//! E4 — the minimum-degree condition: sweep `α` in `d = n^α`.
+//!
+//! Theorem 1 needs `α = Ω(1/ log log n)`.  Random `d`-regular graphs let us
+//! dial the degree exactly; the sweep goes from clearly-outside (constant
+//! degree) to clearly-inside (`α` close to 1).  The expected shape: inside
+//! the regime the consensus time is flat and red always wins; as the degree
+//! drops the consensus time climbs and eventually the minority occasionally
+//! survives locally for a long time.
+
+use bo3_core::prelude::*;
+use bo3_core::report::Table;
+
+use crate::Scale;
+
+/// The α exponents swept (the first entry deliberately violates the
+/// density condition with a constant degree).
+pub fn alphas(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.25, 0.5, 0.8],
+        Scale::Paper => vec![0.15, 0.25, 0.35, 0.5, 0.65, 0.8, 0.95],
+    }
+}
+
+fn graph_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4_000,
+        Scale::Paper => 20_000,
+    }
+}
+
+fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Paper => 30,
+    }
+}
+
+/// Degree used for a given `(n, alpha)`, rounded to an even number so that
+/// `n·d` is always even (a requirement of the pairing model).
+pub fn degree_for(n: usize, alpha: f64) -> usize {
+    ((((n as f64).powf(alpha)).round() as usize) & !1usize).clamp(2, n - 1)
+}
+
+/// Runs the sweep; one row per α.
+pub fn run(scale: Scale) -> Table {
+    let n = graph_size(scale);
+    let delta = 0.1;
+    let results: Vec<ExperimentResult> = alphas(scale)
+        .into_iter()
+        .map(|alpha| {
+            let d = degree_for(n, alpha);
+            Experiment::theorem_one(
+                format!("E4/alpha={alpha}"),
+                GraphSpec::RandomRegular { n, d },
+                delta,
+                replicas(scale),
+                0xE4,
+            )
+            .run()
+            .expect("E4 experiment failed")
+        })
+        .collect();
+    results_table("E4: degree sweep d = n^alpha on random regular graphs", &results)
+}
+
+/// Check: in the dense part of the sweep red sweeps and consensus is fast;
+/// consensus time does not increase as the degree grows.
+pub fn verify(scale: Scale) -> bool {
+    let n = graph_size(scale);
+    let delta = 0.1;
+    let mut means = Vec::new();
+    for alpha in alphas(scale) {
+        let d = degree_for(n, alpha);
+        let r = Experiment::theorem_one(
+            format!("E4v/alpha={alpha}"),
+            GraphSpec::RandomRegular { n, d },
+            delta,
+            replicas(scale),
+            0xE4,
+        )
+        .run()
+        .expect("E4 experiment failed");
+        if alpha >= 0.5 && !r.red_swept() {
+            return false;
+        }
+        means.push(r.mean_rounds().unwrap_or(f64::INFINITY));
+    }
+    // Consensus time is (weakly) non-increasing as the degree grows.
+    means.windows(2).all(|w| w[1] <= w[0] + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_helper_is_even_and_in_range() {
+        assert_eq!(degree_for(4000, 0.5) % 2, 0);
+        assert!(degree_for(4000, 0.25) >= 2);
+        assert!(degree_for(100, 0.999) < 100);
+    }
+
+    #[test]
+    fn table_has_one_row_per_alpha() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), alphas(Scale::Quick).len());
+    }
+
+    #[test]
+    fn denser_graphs_are_no_slower() {
+        assert!(verify(Scale::Quick));
+    }
+}

@@ -1,0 +1,121 @@
+//! E5 — probability that the initial majority wins, Best-of-3 vs. the voter
+//! model.
+//!
+//! The voter model's winner is proportional to the initial share (a 40% blue
+//! start wins ≈ 40% of the time), whereas Best-of-Three drives the majority's
+//! win probability to 1 even for small biases — the property that makes it a
+//! *majority-consensus* protocol rather than merely a consensus protocol.
+
+use bo3_core::prelude::*;
+use bo3_core::report::{fmt_f64, Table};
+
+use crate::Scale;
+
+/// The initial blue shares swept (all below 1/2; red is the majority).
+pub fn blue_shares(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.45, 0.40, 0.30],
+        Scale::Paper => vec![0.49, 0.475, 0.45, 0.40, 0.35, 0.30, 0.20],
+    }
+}
+
+fn graph_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 80,
+        Scale::Paper => 1_000,
+    }
+}
+
+fn replicas(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 40,
+        Scale::Paper => 200,
+    }
+}
+
+fn win_rate(protocol: ProtocolSpec, n: usize, blue: usize, replicas: usize, cap: usize, seed: u64) -> f64 {
+    let experiment = Experiment {
+        name: "E5".into(),
+        graph: GraphSpec::Complete { n },
+        protocol,
+        initial: InitialCondition::ExactCount { blue },
+        schedule: Schedule::Synchronous,
+        stopping: StoppingCondition::consensus_within(cap),
+        replicas,
+        seed,
+        threads: 0,
+    };
+    experiment
+        .run()
+        .expect("E5 experiment failed")
+        .red_win_rate()
+        .unwrap_or(0.0)
+}
+
+/// Runs the sweep; one row per initial share with both protocols' win rates
+/// and the voter model's theoretical share-proportional prediction.
+pub fn run(scale: Scale) -> Table {
+    let n = graph_size(scale);
+    let mut table = Table::new(
+        "E5: probability the initial majority (red) wins",
+        &[
+            "initial_blue_share",
+            "voter_red_win_rate",
+            "voter_theory (1 - share)",
+            "best_of_3_red_win_rate",
+        ],
+    );
+    for share in blue_shares(scale) {
+        let blue = (share * n as f64).round() as usize;
+        let voter = win_rate(ProtocolSpec::Voter, n, blue, replicas(scale), 3_000_000, 0xE5);
+        let bo3 = win_rate(ProtocolSpec::BestOfThree, n, blue, replicas(scale), 50_000, 0xE5 + 1);
+        table.push_row(vec![
+            fmt_f64(share),
+            fmt_f64(voter),
+            fmt_f64(1.0 - share),
+            fmt_f64(bo3),
+        ]);
+    }
+    table
+}
+
+/// Check: Best-of-3 beats the voter model's majority win rate at every share,
+/// and the voter model's rate is close to the share-proportional law.
+pub fn verify(scale: Scale) -> bool {
+    let n = graph_size(scale);
+    for share in blue_shares(scale) {
+        let blue = (share * n as f64).round() as usize;
+        let voter = win_rate(ProtocolSpec::Voter, n, blue, replicas(scale), 3_000_000, 0xE5);
+        let bo3 = win_rate(ProtocolSpec::BestOfThree, n, blue, replicas(scale), 50_000, 0xE5 + 1);
+        let share_law = 1.0 - share;
+        // Monte-Carlo tolerance: generous at Quick scale.
+        if (voter - share_law).abs() > 0.2 {
+            return false;
+        }
+        if bo3 + 1e-9 < voter {
+            return false;
+        }
+        // Away from the dead heat the amplification should be decisive.
+        if share <= 0.40 && bo3 < 0.9 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), blue_shares(Scale::Quick).len());
+        assert_eq!(table.num_columns(), 4);
+    }
+
+    #[test]
+    fn best_of_three_amplifies_the_majority() {
+        assert!(verify(Scale::Quick));
+    }
+}

@@ -1,0 +1,142 @@
+//! E7 — collision statistics of the voting-DAG vs. the bounds of Lemma 7
+//! and equation (2).
+//!
+//! For complete graphs `K_{d+1}` over a range of `d` (minimum degree exactly
+//! `d`), the experiment samples voting-DAGs of a fixed height and measures
+//! (a) the per-reveal collision
+//! rate at each level against `ε_t = 3^{T−t+1}/d`, and (b) the number of
+//! collision levels against the mean of the dominating `Bin(h, 9^h/d)`.
+
+use bo3_core::report::{fmt_f64, Table};
+use bo3_dag::collisions::{collision_stats, per_reveal_collision_rate};
+use bo3_dag::voting_dag::VotingDag;
+use bo3_graph::generators;
+use bo3_theory::recursion::epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Scale;
+
+/// Degrees swept.
+pub fn degrees(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![32, 128, 512],
+        Scale::Paper => vec![32, 64, 128, 256, 512, 1024, 4096],
+    }
+}
+
+fn trials(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 60,
+        Scale::Paper => 500,
+    }
+}
+
+/// DAG height used throughout E7.
+pub const HEIGHT: usize = 4;
+
+/// Measured collision behaviour for one degree.
+pub struct CollisionRow {
+    /// The graph's degree `d`.
+    pub d: usize,
+    /// Mean (over trials and levels) per-reveal collision rate.
+    pub mean_reveal_rate: f64,
+    /// The paper's worst-level bound `ε₁ = 3^T/d` (clamped to 1).
+    pub epsilon_bound: f64,
+    /// Mean number of collision levels per DAG.
+    pub mean_collision_levels: f64,
+    /// Mean of the dominating binomial `Bin(h, 9^h/d)` from Lemma 7.
+    pub binomial_mean: f64,
+}
+
+/// Measures one degree value.
+///
+/// The graph is the complete graph on `d + 1` vertices, which has minimum
+/// degree exactly `d`; Lemma 7's bounds depend only on that minimum degree,
+/// and the complete graph is the worst case for neighbourhood overlap, so it
+/// stresses the bound hardest.
+pub fn measure(d: usize, n_trials: usize, seed: u64) -> CollisionRow {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::complete(d + 1);
+    let mut rate_sum = 0.0;
+    let mut rate_count = 0usize;
+    let mut levels_sum = 0usize;
+    for _ in 0..n_trials {
+        let dag = VotingDag::sample(&graph, 0, HEIGHT, &mut rng).expect("dag");
+        let stats = collision_stats(&dag);
+        levels_sum += stats.collision_levels;
+        for t in 1..=HEIGHT {
+            rate_sum += per_reveal_collision_rate(&stats, &dag, t);
+            rate_count += 1;
+        }
+    }
+    let nine_h = 9f64.powi(HEIGHT as i32);
+    CollisionRow {
+        d,
+        mean_reveal_rate: rate_sum / rate_count.max(1) as f64,
+        epsilon_bound: epsilon(HEIGHT, 1, d as f64).min(1.0),
+        mean_collision_levels: levels_sum as f64 / n_trials.max(1) as f64,
+        binomial_mean: (HEIGHT as f64) * (nine_h / d as f64).min(1.0),
+    }
+}
+
+/// Runs the sweep; one row per degree.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E7: voting-DAG collision statistics vs Lemma 7 bounds (height = 4)",
+        &[
+            "d",
+            "mean_per_reveal_collision_rate",
+            "epsilon_bound (3^T/d)",
+            "mean_collision_levels",
+            "Bin(h, 9^h/d) mean",
+        ],
+    );
+    for (i, d) in degrees(scale).into_iter().enumerate() {
+        let row = measure(d, trials(scale), 0xE7 + i as u64);
+        table.push_row(vec![
+            row.d.to_string(),
+            fmt_f64(row.mean_reveal_rate),
+            fmt_f64(row.epsilon_bound),
+            fmt_f64(row.mean_collision_levels),
+            fmt_f64(row.binomial_mean),
+        ]);
+    }
+    table
+}
+
+/// Check: measured collision rates and collision-level counts never exceed
+/// the paper's bounds, and both decrease as `d` grows.
+pub fn verify(scale: Scale) -> bool {
+    let mut last_rate = f64::INFINITY;
+    for (i, d) in degrees(scale).into_iter().enumerate() {
+        let row = measure(d, trials(scale), 0xE7 + i as u64);
+        if row.mean_reveal_rate > row.epsilon_bound + 1e-9 {
+            return false;
+        }
+        if row.mean_collision_levels > row.binomial_mean.min(HEIGHT as f64) + 1e-9 {
+            return false;
+        }
+        if row.mean_reveal_rate > last_rate + 0.01 {
+            return false;
+        }
+        last_rate = row.mean_reveal_rate;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_one_row_per_degree() {
+        let table = run(Scale::Quick);
+        assert_eq!(table.num_rows(), degrees(Scale::Quick).len());
+    }
+
+    #[test]
+    fn collision_rates_respect_the_bounds() {
+        assert!(verify(Scale::Quick));
+    }
+}

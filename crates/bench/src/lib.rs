@@ -1,0 +1,96 @@
+//! # bo3-bench
+//!
+//! The experiment harness that regenerates every quantitative claim of the
+//! paper (experiments E1–E12 of `DESIGN.md` / `EXPERIMENTS.md`).
+//!
+//! Each experiment lives in its own module with a single entry point
+//! `run(scale)` returning a [`bo3_core::report::Table`]; the binaries in
+//! `src/bin/` print that table (and write CSV next to it), the Criterion
+//! benches in `benches/` time the computational kernel of the same
+//! experiment, and the unit tests run the `Quick` scale so the whole harness
+//! is exercised by `cargo test`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod e01_consensus_scaling;
+pub mod e02_delta_sweep;
+pub mod e03_protocol_comparison;
+pub mod e04_degree_sweep;
+pub mod e05_majority_win_prob;
+pub mod e06_recursion_fidelity;
+pub mod e07_collision_bounds;
+pub mod e08_cobra_walk;
+pub mod e09_duality;
+pub mod e10_sprinkling_figure;
+pub mod e11_phase_structure;
+pub mod e12_best_of_k;
+
+use bo3_core::report::Table;
+
+/// How big an experiment should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale parameters, used by `cargo test` and the Criterion benches.
+    Quick,
+    /// The parameters quoted in `EXPERIMENTS.md`; minutes-scale on a laptop.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale quick|paper` style values.
+    pub fn from_str(s: &str) -> Scale {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "paper" | "full" => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// Shared entry point used by the experiment binaries: print the table to
+/// stdout and, when `csv_path` is given, also write it as CSV.
+pub fn emit(table: &Table, csv_path: Option<&str>) {
+    println!("{}", table.to_pretty_string());
+    if let Some(path) = csv_path {
+        match table.write_csv(path) {
+            Ok(()) => println!("(CSV written to {path})"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Standard argument handling for the experiment binaries:
+/// `--scale quick|paper` and `--csv <path>`.
+pub fn scale_and_csv_from_args() -> (Scale, Option<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut csv = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale = Scale::from_str(&args[i + 1]);
+                i += 2;
+            }
+            "--csv" if i + 1 < args.len() => {
+                csv = Some(args[i + 1].clone());
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    (scale, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_str("paper"), Scale::Paper);
+        assert_eq!(Scale::from_str("FULL"), Scale::Paper);
+        assert_eq!(Scale::from_str("quick"), Scale::Quick);
+        assert_eq!(Scale::from_str("anything-else"), Scale::Quick);
+    }
+}

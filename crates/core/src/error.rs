@@ -1,0 +1,86 @@
+//! Error type for the top-level API.
+
+use std::fmt;
+
+/// Errors surfaced by the `bo3-core` API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An error originating in the graph substrate.
+    Graph(bo3_graph::GraphError),
+    /// An error originating in the dynamics engine.
+    Dynamics(bo3_dynamics::DynamicsError),
+    /// An error originating in the voting-DAG substrate.
+    Dag(bo3_dag::DagError),
+    /// The experiment configuration is inconsistent.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Writing a report failed.
+    Report {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Dynamics(e) => write!(f, "dynamics error: {e}"),
+            CoreError::Dag(e) => write!(f, "voting-DAG error: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Report { reason } => write!(f, "report error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<bo3_graph::GraphError> for CoreError {
+    fn from(e: bo3_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<bo3_dynamics::DynamicsError> for CoreError {
+    fn from(e: bo3_dynamics::DynamicsError) -> Self {
+        CoreError::Dynamics(e)
+    }
+}
+
+impl From<bo3_dag::DagError> for CoreError {
+    fn from(e: bo3_dag::DagError) -> Self {
+        CoreError::Dag(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Report {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Result alias for `bo3-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = bo3_graph::GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("graph error"));
+        let e: CoreError = bo3_dynamics::DynamicsError::DidNotConverge { rounds: 5 }.into();
+        assert!(e.to_string().contains("dynamics error"));
+        let e: CoreError = bo3_dag::DagError::InvalidParameter { reason: "x".into() }.into();
+        assert!(e.to_string().contains("voting-DAG error"));
+        let e: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        assert!(e.to_string().contains("disk"));
+        let e = CoreError::InvalidConfig { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+}

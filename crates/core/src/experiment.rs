@@ -1,0 +1,262 @@
+//! Experiment configuration and execution.
+//!
+//! An [`Experiment`] names everything needed to reproduce one data point of
+//! an evaluation table: the graph family instance, the protocol, the initial
+//! condition, the schedule, the stopping rule, and the Monte-Carlo budget.
+//! Running it yields an [`ExperimentResult`] that pairs the measured
+//! statistics with the graph's realised degree profile and the paper's
+//! theoretical prediction for the same parameters, which is exactly the
+//! "paper vs. measured" row format used in `EXPERIMENTS.md`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use bo3_dynamics::prelude::*;
+use bo3_graph::degree::DegreeStats;
+use bo3_graph::generators::GraphSpec;
+use bo3_graph::traversal::is_connected;
+use bo3_graph::CsrGraph;
+use bo3_theory::prediction::{predict, Prediction};
+
+use crate::error::{CoreError, Result};
+
+/// A fully specified experiment (one parameter point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Short identifier used in reports (e.g. `"E1/n=100000"`).
+    pub name: String,
+    /// Which graph to generate.
+    pub graph: GraphSpec,
+    /// Which protocol to run.
+    pub protocol: ProtocolSpec,
+    /// Initial condition for every replica.
+    pub initial: InitialCondition,
+    /// Update schedule.
+    pub schedule: Schedule,
+    /// Per-replica stopping rule.
+    pub stopping: StoppingCondition,
+    /// Number of Monte-Carlo replicas.
+    pub replicas: usize,
+    /// Master seed (graph generation uses `seed`, replica `i` uses a derived stream).
+    pub seed: u64,
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// The canonical Theorem-1 experiment: Best-of-3 on the given graph with
+    /// the paper's `Bernoulli(1/2 − δ)` initial condition.
+    pub fn theorem_one(name: impl Into<String>, graph: GraphSpec, delta: f64, replicas: usize, seed: u64) -> Self {
+        Experiment {
+            name: name.into(),
+            graph,
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::BernoulliWithBias { delta },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(10_000),
+            replicas,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// Generates the experiment's graph (deterministic in `seed`).
+    pub fn build_graph(&self) -> Result<CsrGraph> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let graph = self.graph.generate(&mut rng)?;
+        Ok(graph)
+    }
+
+    /// Runs the experiment end to end.
+    pub fn run(&self) -> Result<ExperimentResult> {
+        let graph = self.build_graph()?;
+        self.run_on(&graph)
+    }
+
+    /// Runs the experiment on an already generated graph (useful when several
+    /// experiments share one expensive graph instance).
+    pub fn run_on(&self, graph: &CsrGraph) -> Result<ExperimentResult> {
+        if self.replicas == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "an experiment needs at least one replica".into(),
+            });
+        }
+        if graph.num_vertices() == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "the experiment graph is empty".into(),
+            });
+        }
+        if !is_connected(graph) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "graph {} is disconnected; consensus experiments require a connected graph",
+                    self.graph.label()
+                ),
+            });
+        }
+        let degree_stats = DegreeStats::of(graph)?;
+
+        let mc = MonteCarlo {
+            protocol: self.protocol,
+            initial: self.initial.clone(),
+            schedule: self.schedule,
+            stopping: self.stopping,
+            replicas: self.replicas,
+            master_seed: self.seed,
+            threads: self.threads,
+        };
+        let report = mc.run(graph)?;
+
+        // Theoretical prediction for the same (n, alpha, delta) point, when the
+        // initial condition is the paper's.
+        let prediction = match &self.initial {
+            InitialCondition::BernoulliWithBias { delta } => {
+                let n = graph.num_vertices() as f64;
+                degree_stats
+                    .alpha()
+                    .map(|alpha| predict(n, alpha, *delta, 2.0))
+            }
+            _ => None,
+        };
+
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            graph_label: self.graph.label(),
+            protocol_name: self.protocol.name(),
+            initial_label: self.initial.label(),
+            schedule: self.schedule,
+            degree_stats,
+            report,
+            prediction,
+        })
+    }
+}
+
+/// The outcome of one experiment: measurements plus the matching prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment identifier.
+    pub name: String,
+    /// Graph description.
+    pub graph_label: String,
+    /// Protocol name.
+    pub protocol_name: String,
+    /// Initial-condition description.
+    pub initial_label: String,
+    /// Schedule used.
+    pub schedule: Schedule,
+    /// Realised degree statistics of the generated graph.
+    pub degree_stats: DegreeStats,
+    /// Monte-Carlo measurements.
+    pub report: MonteCarloReport,
+    /// The paper's prediction for this parameter point (present when the
+    /// initial condition is the paper's Bernoulli one).
+    pub prediction: Option<Prediction>,
+}
+
+impl ExperimentResult {
+    /// Mean rounds to consensus, when any replica converged.
+    pub fn mean_rounds(&self) -> Option<f64> {
+        self.report.mean_rounds()
+    }
+
+    /// Fraction of converged replicas won by red.
+    pub fn red_win_rate(&self) -> Option<f64> {
+        self.report.red_win.map(|p| p.estimate)
+    }
+
+    /// `true` when every converged replica ended in red consensus — the
+    /// Theorem 1 outcome.
+    pub fn red_swept(&self) -> bool {
+        match self.report.red_win {
+            Some(p) => p.successes == p.trials && p.trials > 0,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_one_experiment_runs_and_red_sweeps() {
+        let exp = Experiment::theorem_one(
+            "unit/complete",
+            GraphSpec::Complete { n: 300 },
+            0.15,
+            10,
+            1,
+        );
+        let result = exp.run().unwrap();
+        assert_eq!(result.name, "unit/complete");
+        assert!(result.red_swept());
+        assert!(result.mean_rounds().unwrap() < 25.0);
+        assert!(result.prediction.is_some());
+        assert_eq!(result.degree_stats.min, 299);
+        assert!(result.protocol_name.contains("best-of-3"));
+    }
+
+    #[test]
+    fn rejects_zero_replicas_and_disconnected_graphs() {
+        let mut exp = Experiment::theorem_one("bad", GraphSpec::Complete { n: 20 }, 0.1, 0, 1);
+        assert!(matches!(exp.run(), Err(CoreError::InvalidConfig { .. })));
+        exp.replicas = 3;
+        // Two disjoint cliques via an SBM with zero cross probability.
+        exp.graph = GraphSpec::PlantedPartition {
+            n: 20,
+            blocks: 2,
+            p_in: 1.0,
+            p_out: 0.0,
+        };
+        assert!(matches!(exp.run(), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn graph_generation_is_deterministic_in_the_seed() {
+        let exp = Experiment::theorem_one(
+            "det",
+            GraphSpec::ErdosRenyiGnp { n: 200, p: 0.2 },
+            0.1,
+            1,
+            7,
+        );
+        let g1 = exp.build_graph().unwrap();
+        let g2 = exp.build_graph().unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn run_on_shared_graph_matches_run() {
+        let exp = Experiment::theorem_one("shared", GraphSpec::Complete { n: 150 }, 0.12, 5, 3);
+        let direct = exp.run().unwrap();
+        let graph = exp.build_graph().unwrap();
+        let shared = exp.run_on(&graph).unwrap();
+        assert_eq!(direct.report.outcomes, shared.report.outcomes);
+    }
+
+    #[test]
+    fn non_paper_initial_conditions_have_no_prediction() {
+        let exp = Experiment {
+            initial: InitialCondition::ExactCount { blue: 40 },
+            ..Experiment::theorem_one("nopred", GraphSpec::Complete { n: 100 }, 0.1, 3, 5)
+        };
+        let result = exp.run().unwrap();
+        assert!(result.prediction.is_none());
+        assert!(result.red_win_rate().is_some());
+    }
+
+    #[test]
+    fn voter_baseline_does_not_always_sweep() {
+        let exp = Experiment {
+            protocol: ProtocolSpec::Voter,
+            initial: InitialCondition::ExactCount { blue: 28 },
+            stopping: StoppingCondition::consensus_within(200_000),
+            replicas: 40,
+            ..Experiment::theorem_one("voter", GraphSpec::Complete { n: 60 }, 0.1, 40, 11)
+        };
+        let result = exp.run().unwrap();
+        assert!(!result.red_swept(), "voter unexpectedly swept for red");
+    }
+}

@@ -1,0 +1,76 @@
+//! # bo3-core — Best-of-Three Voting on Dense Graphs
+//!
+//! Top-level API of the reproduction of *“Best-of-Three Voting on Dense
+//! Graphs”* (Nan Kang & Nicolás Rivera, SPAA 2019, arXiv:1903.09524).
+//!
+//! The paper proves that on any `n`-vertex graph with minimum degree
+//! `d = n^α`, `α = Ω(1/ log log n)`, if every vertex is independently blue
+//! with probability `1/2 − δ` (red otherwise, `δ ≥ (log d)^{−C}`), then the
+//! synchronous Best-of-Three dynamics reaches **red** consensus w.h.p. within
+//! `O(log log n) + O(log δ⁻¹)` rounds.  This crate packages the simulator,
+//! the proof's combinatorial machinery and the theory-side predictions behind
+//! one experiment-oriented API:
+//!
+//! * [`experiment`] — describe and run a parameter point (graph family,
+//!   protocol, initial condition, Monte-Carlo budget) and get measurements
+//!   paired with the paper's prediction;
+//! * [`duality`] — verify the time-reversal duality between the forward
+//!   process and the voting-DAG colouring (experiment E9);
+//! * [`phases`] — segment measured trajectories into the three phases of
+//!   Lemma 4 (experiment E11);
+//! * [`registry`] — resolve protocol names and enumerate the comparison set;
+//! * [`report`] / [`summary`] — plain-text, CSV and markdown tables.
+//!
+//! The heavy lifting lives in the substrate crates re-exported below:
+//! [`bo3_graph`], [`bo3_dynamics`], [`bo3_dag`] and [`bo3_theory`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bo3_core::prelude::*;
+//!
+//! let experiment = Experiment::theorem_one(
+//!     "doc/quickstart",
+//!     GraphSpec::Complete { n: 300 },
+//!     0.1,    // delta: initial blue probability is 1/2 - 0.1
+//!     8,      // Monte-Carlo replicas
+//!     42,     // seed
+//! );
+//! let result = experiment.run().unwrap();
+//! assert!(result.red_swept());
+//! println!("consensus in {:.1} rounds on average", result.mean_rounds().unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod duality;
+pub mod error;
+pub mod experiment;
+pub mod phases;
+pub mod registry;
+pub mod report;
+pub mod summary;
+
+// Re-export the substrate crates so downstream users need only one dependency.
+pub use bo3_dag;
+pub use bo3_dynamics;
+pub use bo3_graph;
+pub use bo3_theory;
+
+/// One-stop imports for examples, benches and integration tests.
+pub mod prelude {
+    pub use crate::duality::{DualityCheck, DualityReport};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::experiment::{Experiment, ExperimentResult};
+    pub use crate::phases::{segment_trace, ObservedPhases, PhaseComparison};
+    pub use crate::registry::{comparison_protocols, resolve_protocol};
+    pub use crate::report::{fmt_f64, fmt_opt_f64, Table};
+    pub use crate::summary::{results_table, trajectory_table};
+
+    pub use bo3_dynamics::prelude::*;
+    pub use bo3_graph::degree::DegreeStats;
+    pub use bo3_graph::generators::GraphSpec;
+    pub use bo3_graph::{CsrGraph, GraphBuilder, NeighbourSampler};
+    pub use bo3_theory::prediction::{predict, Prediction};
+}

@@ -1,0 +1,102 @@
+//! A small named registry of protocols and standard experiment presets.
+//!
+//! Benchmark binaries and examples refer to protocols by the short names used
+//! in the paper's discussion ("voter", "best-of-2", "best-of-3", …); the
+//! registry resolves those names and enumerates the canonical comparison set.
+
+use bo3_dynamics::prelude::{ProtocolSpec, TieRule};
+
+/// All protocol names understood by [`resolve_protocol`].
+pub const PROTOCOL_NAMES: &[&str] = &[
+    "voter",
+    "best-of-1",
+    "best-of-2",
+    "best-of-2-random",
+    "best-of-3",
+    "best-of-5",
+    "best-of-7",
+    "best-of-9",
+    "local-majority",
+];
+
+/// Resolves a short protocol name to its specification.
+///
+/// Returns `None` for unknown names; `best-of-<k>` is accepted for any
+/// `k ≥ 1` beyond the listed presets.
+pub fn resolve_protocol(name: &str) -> Option<ProtocolSpec> {
+    let lower = name.trim().to_ascii_lowercase();
+    match lower.as_str() {
+        "voter" | "best-of-1" | "bo1" => Some(ProtocolSpec::Voter),
+        "best-of-2" | "bo2" => Some(ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn }),
+        "best-of-2-random" => Some(ProtocolSpec::BestOfTwo { tie_rule: TieRule::Random }),
+        "best-of-3" | "bo3" => Some(ProtocolSpec::BestOfThree),
+        "local-majority" | "majority" => {
+            Some(ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn })
+        }
+        other => {
+            let k: usize = other.strip_prefix("best-of-")?.parse().ok()?;
+            if k == 0 {
+                None
+            } else if k == 3 {
+                Some(ProtocolSpec::BestOfThree)
+            } else {
+                Some(ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn })
+            }
+        }
+    }
+}
+
+/// The protocols compared in experiments E3 and E5, with their display names.
+pub fn comparison_protocols() -> Vec<(&'static str, ProtocolSpec)> {
+    vec![
+        ("voter", ProtocolSpec::Voter),
+        ("best-of-2", ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn }),
+        ("best-of-3", ProtocolSpec::BestOfThree),
+        ("best-of-5", ProtocolSpec::BestOfK { k: 5, tie_rule: TieRule::KeepOwn }),
+        ("local-majority", ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in PROTOCOL_NAMES {
+            assert!(resolve_protocol(name).is_some(), "{name} did not resolve");
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_insensitivity() {
+        assert_eq!(resolve_protocol("BO3"), Some(ProtocolSpec::BestOfThree));
+        assert_eq!(resolve_protocol(" Voter "), Some(ProtocolSpec::Voter));
+        assert_eq!(resolve_protocol("best-of-1"), Some(ProtocolSpec::Voter));
+        assert_eq!(resolve_protocol("best-of-3"), Some(ProtocolSpec::BestOfThree));
+    }
+
+    #[test]
+    fn arbitrary_best_of_k_parses() {
+        match resolve_protocol("best-of-11") {
+            Some(ProtocolSpec::BestOfK { k: 11, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(resolve_protocol("best-of-0"), None);
+    }
+
+    #[test]
+    fn unknown_names_fail() {
+        assert_eq!(resolve_protocol("majority-of-all"), None);
+        assert_eq!(resolve_protocol(""), None);
+        assert_eq!(resolve_protocol("best-of-x"), None);
+    }
+
+    #[test]
+    fn comparison_set_is_ordered_and_contains_the_paper_protocol() {
+        let set = comparison_protocols();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[2].1, ProtocolSpec::BestOfThree);
+        assert_eq!(set[0].0, "voter");
+    }
+}

@@ -1,0 +1,248 @@
+//! Plain-text table and CSV emission for experiment results.
+//!
+//! The benchmark binaries print one table per experiment in both a
+//! fixed-width console form and CSV; no external serialisation crates are
+//! used (the CSV writer below escapes the small character set we actually
+//! emit).
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::Result;
+
+/// A simple in-memory table: a header row plus data rows of equal width.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Appends a row; panics if the width does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable items.
+    pub fn push_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table as aligned plain text (the format printed by the
+    /// experiment binaries).
+    pub fn to_pretty_string(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting of fields containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_row(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_row(row));
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_csv().as_bytes())?;
+        Ok(())
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else if x.abs() >= 0.001 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Formats an optional float, using `-` for `None`.
+pub fn fmt_opt_f64(x: Option<f64>) -> String {
+    x.map(fmt_f64).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Consensus time", &["n", "rounds", "red wins"]);
+        t.push_row(vec!["1000".into(), "7.2".into(), "1.00".into()]);
+        t.push_row(vec!["10000".into(), "8.1".into(), "1.00".into()]);
+        t
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.title(), "Consensus time");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn pretty_rendering_contains_all_cells_aligned() {
+        let s = sample_table().to_pretty_string();
+        assert!(s.contains("== Consensus time =="));
+        assert!(s.contains("n "));
+        assert!(s.contains("10000"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.push_row(vec!["plain".into(), "1".into()]);
+        t.push_row(vec!["with,comma".into(), "quote\"inside".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"inside\"");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Consensus time"));
+        assert!(md.contains("| n | rounds | red wins |"));
+        assert!(md.contains("| 1000 | 7.2 | 1.00 |"));
+    }
+
+    #[test]
+    fn push_display_row_stringifies() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_display_row(&[1.5, 2.0]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_csv().contains("1.5,2"));
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let dir = std::env::temp_dir().join("bo3_core_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        sample_table().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,rounds,red wins"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(123.456), "123.5");
+        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(0.01234), "0.0123");
+        assert_eq!(fmt_f64(0.000012), "1.200e-5");
+        assert_eq!(fmt_opt_f64(None), "-");
+        assert_eq!(fmt_opt_f64(Some(2.0)), "2.00");
+    }
+}

@@ -1,0 +1,212 @@
+//! The colouring process `X_H` of Section 2.
+//!
+//! Given a realised voting-DAG `H` and a colouring of its leaves, the colour
+//! of every internal node is the majority of its three samples, computed
+//! level by level up to the root.  Summing over realisations of `H`,
+//! `P(X_H(v₀, T) = B) = P(ξ_T(v₀) = B)` — the time-reversal duality that
+//! experiment E9 verifies empirically.
+
+use rand::Rng;
+
+use bo3_dynamics::opinion::Opinion;
+
+use crate::error::{DagError, Result};
+use crate::voting_dag::VotingDag;
+
+/// The colours of every node of a voting-DAG, level by level (index 0 =
+/// leaves), as produced by [`colour_dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagColouring {
+    /// `colours[t][i]` is the colour of node `i` at level `t`.
+    pub colours: Vec<Vec<Opinion>>,
+}
+
+impl DagColouring {
+    /// The colour of the root.
+    pub fn root_colour(&self) -> Opinion {
+        *self
+            .colours
+            .last()
+            .and_then(|level| level.first())
+            .expect("a voting-DAG always has a root")
+    }
+
+    /// Number of blue nodes at level `t`.
+    pub fn blue_count_at(&self, t: usize) -> usize {
+        self.colours[t].iter().filter(|c| c.is_blue()).count()
+    }
+
+    /// Number of blue leaves.
+    pub fn blue_leaves(&self) -> usize {
+        self.blue_count_at(0)
+    }
+}
+
+/// Runs the colouring process on `dag` with the given leaf colours.
+///
+/// `leaf_colours[i]` is the colour of node `i` at level 0.
+pub fn colour_dag(dag: &VotingDag, leaf_colours: &[Opinion]) -> Result<DagColouring> {
+    if leaf_colours.len() != dag.num_leaves() {
+        return Err(DagError::LeafColouringMismatch {
+            got: leaf_colours.len(),
+            expected: dag.num_leaves(),
+        });
+    }
+    let mut colours: Vec<Vec<Opinion>> = Vec::with_capacity(dag.levels().len());
+    colours.push(leaf_colours.to_vec());
+    for t in 1..dag.levels().len() {
+        let level = dag.level(t);
+        let below = &colours[t - 1];
+        let mut this: Vec<Opinion> = Vec::with_capacity(level.len());
+        for sample in &level.samples {
+            let blues = sample.iter().filter(|&&idx| below[idx].is_blue()).count();
+            this.push(if blues >= 2 { Opinion::Blue } else { Opinion::Red });
+        }
+        colours.push(this);
+    }
+    Ok(DagColouring { colours })
+}
+
+/// Draws i.i.d. leaf colours (blue with probability `p_blue`) and runs the
+/// colouring process; returns the full colouring.
+pub fn colour_dag_random<R: Rng + ?Sized>(
+    dag: &VotingDag,
+    p_blue: f64,
+    rng: &mut R,
+) -> Result<DagColouring> {
+    if !(0.0..=1.0).contains(&p_blue) || p_blue.is_nan() {
+        return Err(DagError::InvalidParameter {
+            reason: format!("p_blue must lie in [0,1], got {p_blue}"),
+        });
+    }
+    let leaves: Vec<Opinion> = (0..dag.num_leaves())
+        .map(|_| {
+            if rng.gen::<f64>() < p_blue {
+                Opinion::Blue
+            } else {
+                Opinion::Red
+            }
+        })
+        .collect();
+    colour_dag(dag, &leaves)
+}
+
+/// Monte-Carlo estimate of `P(X_H(v₀, T) = B)` where both the DAG and the
+/// leaf colours are random: samples `trials` independent (DAG, colouring)
+/// pairs and returns the fraction of blue roots.
+pub fn estimate_root_blue_probability<R: Rng + ?Sized>(
+    graph: &bo3_graph::CsrGraph,
+    root: usize,
+    height: usize,
+    p_blue: f64,
+    trials: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    let mut blue = 0usize;
+    for _ in 0..trials {
+        let dag = VotingDag::sample(graph, root, height, rng)?;
+        let colouring = colour_dag_random(&dag, p_blue, rng)?;
+        if colouring.root_colour().is_blue() {
+            blue += 1;
+        }
+    }
+    Ok(blue as f64 / trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bo3_graph::generators;
+    use bo3_theory::recursion::ideal_trajectory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_wrong_leaf_count_and_bad_probability() {
+        let g = generators::complete(50);
+        let mut rng = StdRng::seed_from_u64(0);
+        let dag = VotingDag::sample(&g, 0, 2, &mut rng).unwrap();
+        assert!(colour_dag(&dag, &[Opinion::Red]).is_err());
+        assert!(colour_dag_random(&dag, 1.5, &mut rng).is_err());
+        assert!(colour_dag_random(&dag, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn unanimous_leaves_propagate_to_the_root() {
+        let g = generators::complete(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dag = VotingDag::sample(&g, 5, 4, &mut rng).unwrap();
+        let all_red = vec![Opinion::Red; dag.num_leaves()];
+        let c = colour_dag(&dag, &all_red).unwrap();
+        assert_eq!(c.root_colour(), Opinion::Red);
+        assert_eq!(c.blue_leaves(), 0);
+        for t in 0..=dag.height() {
+            assert_eq!(c.blue_count_at(t), 0);
+        }
+        let all_blue = vec![Opinion::Blue; dag.num_leaves()];
+        let c = colour_dag(&dag, &all_blue).unwrap();
+        assert_eq!(c.root_colour(), Opinion::Blue);
+    }
+
+    #[test]
+    fn zero_height_dag_root_colour_is_the_leaf_colour() {
+        let g = generators::complete(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = VotingDag::sample(&g, 3, 0, &mut rng).unwrap();
+        let c = colour_dag(&dag, &[Opinion::Blue]).unwrap();
+        assert_eq!(c.root_colour(), Opinion::Blue);
+    }
+
+    #[test]
+    fn majority_is_taken_per_node() {
+        // Build a height-1 DAG on the complete graph and hand-colour the
+        // leaves so the root's three samples have a known majority.
+        let g = generators::complete(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = VotingDag::sample(&g, 0, 1, &mut rng).unwrap();
+        let leaves = dag.num_leaves();
+        assert!(leaves <= 3);
+        // Colour every leaf blue except the first.
+        let mut colours = vec![Opinion::Blue; leaves];
+        colours[0] = Opinion::Red;
+        let c = colour_dag(&dag, &colours).unwrap();
+        // The root samples three leaf slots; whether it is blue depends on
+        // how many of its samples hit leaf 0. Recompute by hand.
+        let sample = dag.level(1).samples[0];
+        let blues = sample.iter().filter(|&&i| colours[i].is_blue()).count();
+        assert_eq!(c.root_colour().is_blue(), blues >= 2);
+    }
+
+    #[test]
+    fn root_blue_probability_matches_ideal_recursion_on_huge_complete_graphs() {
+        // On a large complete graph with small height, the DAG is a ternary
+        // tree w.h.p., so P(root blue) follows equation (1) exactly.
+        let g = generators::complete(5_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let height = 3;
+        let p0 = 0.3f64;
+        let est = estimate_root_blue_probability(&g, 0, height, p0, 4_000, &mut rng).unwrap();
+        let ideal = ideal_trajectory(p0, height)[height];
+        assert!(
+            (est - ideal).abs() < 0.02,
+            "estimate {est}, ideal recursion {ideal}"
+        );
+    }
+
+    #[test]
+    fn blue_minority_shrinks_level_by_level() {
+        let g = generators::complete(5_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let dag = VotingDag::sample(&g, 0, 4, &mut rng).unwrap();
+        let c = colour_dag_random(&dag, 0.35, &mut rng).unwrap();
+        // Fractions of blue nodes should trend downwards as we move up.
+        let fractions: Vec<f64> = (0..=dag.height())
+            .map(|t| c.blue_count_at(t) as f64 / dag.level(t).len() as f64)
+            .collect();
+        assert!(
+            fractions[dag.height()] <= fractions[0] + 0.05,
+            "fractions {fractions:?}"
+        );
+        assert_eq!(c.colours.len(), dag.height() + 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the voting-DAG substrate.
+
+use std::fmt;
+
+/// Errors produced while building or analysing voting-DAGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The root vertex does not exist in the graph.
+    RootOutOfRange {
+        /// The requested root.
+        root: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// The graph cannot host a voting-DAG (e.g. an isolated vertex was reached).
+    InvalidGraph {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A leaf colouring of the wrong length was supplied.
+    LeafColouringMismatch {
+        /// Number of colours supplied.
+        got: usize,
+        /// Number of leaves expected.
+        expected: usize,
+    },
+    /// A parameter was invalid (zero levels, zero branching factor, …).
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::RootOutOfRange { root, n } => {
+                write!(f, "root vertex {root} out of range for graph with {n} vertices")
+            }
+            DagError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+            DagError::LeafColouringMismatch { got, expected } => write!(
+                f,
+                "leaf colouring has {got} entries but the DAG has {expected} leaves"
+            ),
+            DagError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl From<bo3_graph::GraphError> for DagError {
+    fn from(e: bo3_graph::GraphError) -> Self {
+        DagError::InvalidGraph {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Result alias for `bo3-dag`.
+pub type Result<T> = std::result::Result<T, DagError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_parameters() {
+        let e = DagError::RootOutOfRange { root: 9, n: 5 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('5'));
+        let e = DagError::LeafColouringMismatch { got: 2, expected: 4 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let e: DagError = bo3_graph::GraphError::EmptyGraph.into();
+        assert!(matches!(e, DagError::InvalidGraph { .. }));
+    }
+}

@@ -1,0 +1,51 @@
+//! # bo3-dag
+//!
+//! The time-reversal substrate of *“Best-of-Three Voting on Dense Graphs”*
+//! (Kang & Rivera, SPAA 2019): the random voting-DAG, its colouring process,
+//! the Sprinkling coupling, the ternary-tree transformation, collision
+//! accounting, and the COBRA-walk view of the same object.
+//!
+//! * [`voting_dag`] — sampling the DAG `H_{v₀}` of Section 2;
+//! * [`colouring`] — the colouring process `X_H`, whose root colour is
+//!   distributed exactly as `ξ_T(v₀)` (the duality verified by experiment E9);
+//! * [`sprinkling`] — the Section 3 coupling that converts collisions into
+//!   deterministically blue nodes, giving a collision-free DAG `H′` with
+//!   `X_H ≤ X_{H′}` pointwise;
+//! * [`ternary`] — Lemmas 5 and 6: blue-leaf thresholds for ternary trees and
+//!   the DAG→tree transformation;
+//! * [`collisions`] — per-level collision statistics compared against the
+//!   `ε_t = 3^{T−t+1}/d` and `Bin(h, 9^h/d)` bounds of Lemma 7;
+//! * [`cobra`] — COBRA walks (Remark 2).
+//!
+//! ```
+//! use bo3_dag::voting_dag::VotingDag;
+//! use bo3_dag::colouring::colour_dag_random;
+//! use bo3_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let graph = generators::complete(1000);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let dag = VotingDag::sample(&graph, 0, 4, &mut rng).unwrap();
+//! let colouring = colour_dag_random(&dag, 0.3, &mut rng).unwrap();
+//! // The root colour has the same law as the forward process after 4 rounds.
+//! let _ = colouring.root_colour();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cobra;
+pub mod collisions;
+pub mod colouring;
+pub mod error;
+pub mod sprinkling;
+pub mod ternary;
+pub mod voting_dag;
+
+pub use cobra::{cobra_walk, CobraTrajectory};
+pub use collisions::{collision_stats, CollisionStats};
+pub use colouring::{colour_dag, colour_dag_random, DagColouring};
+pub use error::{DagError, Result};
+pub use sprinkling::{sprinkle, SprinkledDag};
+pub use ternary::{ternary_transform, TernaryTransform};
+pub use voting_dag::{DagLevel, VotingDag, BRANCHING};

@@ -1,0 +1,404 @@
+//! The single-threaded simulation engine.
+//!
+//! [`Simulator`] owns nothing heavy: it borrows a graph, takes a protocol per
+//! run, and manages the double-buffered synchronous update (or the in-place
+//! asynchronous one).  The multi-threaded stepper lives in
+//! [`crate::parallel`] and reuses the same per-vertex update logic.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use bo3_graph::{CsrGraph, NeighbourSampler};
+
+use crate::error::{DynamicsError, Result};
+use crate::opinion::{Configuration, Opinion};
+use crate::protocol::{Protocol, UpdateContext};
+use crate::schedule::Schedule;
+use crate::stopping::{StopReason, StoppingCondition};
+use crate::trace::Trace;
+
+/// Outcome of a single dynamics run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Consensus winner, when consensus was reached.
+    pub winner: Option<Opinion>,
+    /// Number of rounds executed (round 0 is the initial configuration and
+    /// is not counted).
+    pub rounds: usize,
+    /// Blue fraction of the initial configuration.
+    pub initial_blue_fraction: f64,
+    /// Blue fraction of the final configuration.
+    pub final_blue_fraction: f64,
+    /// The per-round trajectory (present when tracing was enabled).
+    pub trace: Option<Trace>,
+}
+
+impl RunResult {
+    /// `true` when the run ended in consensus on red — the outcome Theorem 1
+    /// predicts for the paper's parameter regime.
+    pub fn red_won(&self) -> bool {
+        self.winner == Some(Opinion::Red)
+    }
+
+    /// `true` when the run ended in consensus (on either colour).
+    pub fn reached_consensus(&self) -> bool {
+        self.winner.is_some()
+    }
+}
+
+/// Synchronous / asynchronous voting dynamics simulator over a borrowed graph.
+pub struct Simulator<'g> {
+    graph: &'g CsrGraph,
+    sampler: NeighbourSampler<'g>,
+    schedule: Schedule,
+    stopping: StoppingCondition,
+    record_trace: bool,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator with the default (synchronous, stop-at-consensus)
+    /// behaviour. Fails if the graph has an isolated vertex, which could
+    /// never perform an update.
+    pub fn new(graph: &'g CsrGraph) -> Result<Self> {
+        if graph.num_vertices() == 0 {
+            return Err(DynamicsError::InvalidGraph {
+                reason: "cannot run dynamics on the empty graph".into(),
+            });
+        }
+        let sampler = NeighbourSampler::new(graph)?;
+        Ok(Simulator {
+            graph,
+            sampler,
+            schedule: Schedule::default(),
+            stopping: StoppingCondition::default(),
+            record_trace: false,
+        })
+    }
+
+    /// Sets the update schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the stopping condition.
+    pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Enables or disables per-round trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The configured stopping condition.
+    pub fn stopping(&self) -> StoppingCondition {
+        self.stopping
+    }
+
+    /// Performs one synchronous round: reads `current`, writes the next
+    /// opinions into `next` (which is cleared and refilled).
+    pub fn step_synchronous(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        rng: &mut dyn RngCore,
+    ) {
+        let prev = current.as_slice();
+        next.clear();
+        next.reserve(prev.len());
+        for v in self.graph.vertices() {
+            let ctx = UpdateContext {
+                vertex: v,
+                current: prev[v],
+                previous: prev,
+                sampler: &self.sampler,
+            };
+            next.push(protocol.update(&ctx, rng));
+        }
+    }
+
+    /// Performs one asynchronous round: every vertex updates exactly once, in
+    /// a fresh random order, reading the current (partially updated) state.
+    pub fn step_asynchronous(
+        &self,
+        protocol: &dyn Protocol,
+        config: &mut Configuration,
+        rng: &mut dyn RngCore,
+    ) {
+        let mut order: Vec<usize> = self.graph.vertices().collect();
+        {
+            let mut r = &mut *rng;
+            order.shuffle(&mut r);
+        }
+        // The asynchronous update reads the live configuration; we snapshot
+        // per vertex via the slice borrow below.
+        for v in order {
+            let new_opinion = {
+                let prev = config.as_slice();
+                let ctx = UpdateContext {
+                    vertex: v,
+                    current: prev[v],
+                    previous: prev,
+                    sampler: &self.sampler,
+                };
+                protocol.update(&ctx, rng)
+            };
+            config.set(v, new_opinion);
+        }
+    }
+
+    /// Runs the dynamics from `initial` until the stopping condition fires.
+    pub fn run(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        rng: &mut dyn RngCore,
+    ) -> Result<RunResult> {
+        if initial.len() != self.graph.num_vertices() {
+            return Err(DynamicsError::OpinionLengthMismatch {
+                got: initial.len(),
+                expected: self.graph.num_vertices(),
+            });
+        }
+        let initial_blue_fraction = initial.blue_fraction();
+        let mut config = initial;
+        let mut trace = if self.record_trace { Some(Trace::new()) } else { None };
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &config);
+        }
+
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(config.len());
+        let mut rounds = 0usize;
+        let stop_reason = loop {
+            if let Some(reason) = self.stopping.should_stop(&config, rounds) {
+                break reason;
+            }
+            match self.schedule {
+                Schedule::Synchronous => {
+                    self.step_synchronous(protocol, &config, &mut scratch, rng);
+                    config.overwrite_from(&scratch);
+                }
+                Schedule::AsynchronousRandomOrder => {
+                    self.step_asynchronous(protocol, &mut config, rng);
+                }
+            }
+            rounds += 1;
+            if let Some(t) = trace.as_mut() {
+                t.record(rounds, &config);
+            }
+        };
+
+        Ok(RunResult {
+            stop_reason,
+            winner: stop_reason.winner(),
+            rounds,
+            initial_blue_fraction,
+            final_blue_fraction: config.blue_fraction(),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitialCondition;
+    use crate::protocol::{BestOfThree, LocalMajority, Voter};
+    use bo3_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_graph_and_isolated_vertices() {
+        let empty = bo3_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(Simulator::new(&empty).is_err());
+        let iso = bo3_graph::GraphBuilder::new(3).add_edge(0, 1).unwrap().build().unwrap();
+        assert!(Simulator::new(&iso).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_initial_configuration() {
+        let g = generators::complete(5);
+        let sim = Simulator::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad = Configuration::all_red(3);
+        assert!(matches!(
+            sim.run(&BestOfThree::new(), bad, &mut rng),
+            Err(DynamicsError::OpinionLengthMismatch { got: 3, expected: 5 })
+        ));
+    }
+
+    #[test]
+    fn consensus_initial_state_stops_immediately() {
+        let g = generators::complete(8);
+        let sim = Simulator::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = sim
+            .run(&BestOfThree::new(), Configuration::all_red(8), &mut rng)
+            .unwrap();
+        assert_eq!(res.rounds, 0);
+        assert!(res.red_won());
+        assert!(res.reached_consensus());
+        assert_eq!(res.final_blue_fraction, 0.0);
+    }
+
+    #[test]
+    fn best_of_three_reaches_red_consensus_on_dense_graph() {
+        let g = generators::complete(400);
+        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.15 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        assert!(res.red_won(), "stop reason {:?}", res.stop_reason);
+        assert!(res.rounds <= 30, "took {} rounds", res.rounds);
+        let trace = res.trace.as_ref().unwrap();
+        assert_eq!(trace.len(), res.rounds + 1);
+        // The blue fraction is (weakly) shrinking over most of the run.
+        let fr = trace.blue_fractions();
+        assert!(fr.first().unwrap() > fr.last().unwrap());
+    }
+
+    #[test]
+    fn blue_majority_start_gives_blue_consensus() {
+        let g = generators::complete(300);
+        let sim = Simulator::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = InitialCondition::Bernoulli { blue_probability: 0.7 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        assert_eq!(res.winner, Some(Opinion::Blue));
+    }
+
+    #[test]
+    fn fixed_round_budget_is_respected() {
+        let g = generators::complete(100);
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_stopping(StoppingCondition::fixed_rounds(4))
+            .with_trace(true);
+        let mut rng = StdRng::seed_from_u64(4);
+        let init = InitialCondition::ExactCount { blue: 50 }.sample(&g, &mut rng).unwrap();
+        let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        assert_eq!(res.rounds, 4);
+        assert_eq!(res.stop_reason, StopReason::RoundLimit);
+        assert_eq!(res.trace.unwrap().len(), 5);
+    }
+
+    #[test]
+    fn voter_model_is_much_slower_than_best_of_three() {
+        let g = generators::complete(150);
+        let mut rng = StdRng::seed_from_u64(5);
+        let init = InitialCondition::ExactCount { blue: 60 }.sample(&g, &mut rng).unwrap();
+
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_stopping(StoppingCondition::consensus_within(100_000));
+        let bo3 = sim.run(&BestOfThree::new(), init.clone(), &mut rng).unwrap();
+        let voter = sim.run(&Voter::new(), init, &mut rng).unwrap();
+        assert!(bo3.reached_consensus());
+        assert!(voter.reached_consensus());
+        assert!(
+            voter.rounds > 3 * bo3.rounds,
+            "voter {} rounds vs best-of-3 {}",
+            voter.rounds,
+            bo3.rounds
+        );
+    }
+
+    #[test]
+    fn local_majority_converges_in_one_round_on_complete_graph() {
+        let g = generators::complete(101);
+        let sim = Simulator::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let init = InitialCondition::ExactCount { blue: 30 }.sample(&g, &mut rng).unwrap();
+        let res = sim.run(&LocalMajority::keep_own(), init, &mut rng).unwrap();
+        assert!(res.red_won());
+        assert_eq!(res.rounds, 1);
+    }
+
+    #[test]
+    fn asynchronous_schedule_also_converges() {
+        let g = generators::complete(200);
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_schedule(Schedule::AsynchronousRandomOrder);
+        let mut rng = StdRng::seed_from_u64(7);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.15 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        assert!(res.reached_consensus());
+        assert!(res.red_won());
+    }
+
+    #[test]
+    fn synchronous_step_reads_only_the_snapshot() {
+        // On a 2-colourable structure, a synchronous local-majority update of
+        // an alternating colouring swaps the colours (period-2 oscillation),
+        // which is only possible if every vertex reads the *old* snapshot.
+        let g = generators::complete_bipartite(5, 5).unwrap();
+        let sim = Simulator::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Left side blue, right side red.
+        let opinions: Vec<Opinion> = (0..10)
+            .map(|v| if v < 5 { Opinion::Blue } else { Opinion::Red })
+            .collect();
+        let cfg = Configuration::new(opinions);
+        let mut next = Vec::new();
+        sim.step_synchronous(&LocalMajority::keep_own(), &cfg, &mut next, &mut rng);
+        // Every left vertex sees only red neighbours and vice versa.
+        for v in 0..5 {
+            assert_eq!(next[v], Opinion::Red);
+        }
+        for v in 5..10 {
+            assert_eq!(next[v], Opinion::Blue);
+        }
+    }
+
+    #[test]
+    fn blue_extinction_stopping_is_honoured() {
+        let g = generators::complete(500);
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_stopping(StoppingCondition::blue_extinction(1_000, 0.05));
+        let mut rng = StdRng::seed_from_u64(9);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        assert!(res.final_blue_fraction <= 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let g = generators::complete(100);
+        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+                .sample(&g, &mut rng)
+                .unwrap();
+            sim.run(&BestOfThree::new(), init, &mut rng).unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b);
+        let c = run(43);
+        assert!(a.rounds != c.rounds || a.trace != c.trace);
+    }
+}

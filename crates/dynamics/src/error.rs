@@ -1,0 +1,81 @@
+//! Error types for the dynamics engine.
+
+use std::fmt;
+
+/// Errors produced while configuring or running voting dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicsError {
+    /// The supplied graph cannot host the dynamics (e.g. isolated vertex).
+    InvalidGraph {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An invalid parameter was supplied (probability out of range, zero
+    /// sample size, etc.).
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The opinion vector does not match the graph.
+    OpinionLengthMismatch {
+        /// Number of opinions supplied.
+        got: usize,
+        /// Number of vertices expected.
+        expected: usize,
+    },
+    /// A run exceeded its round budget without reaching its stopping condition.
+    DidNotConverge {
+        /// Number of rounds executed.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicsError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+            DynamicsError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            DynamicsError::OpinionLengthMismatch { got, expected } => write!(
+                f,
+                "opinion vector has length {got} but the graph has {expected} vertices"
+            ),
+            DynamicsError::DidNotConverge { rounds } => {
+                write!(f, "dynamics did not converge within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicsError {}
+
+impl From<bo3_graph::GraphError> for DynamicsError {
+    fn from(e: bo3_graph::GraphError) -> Self {
+        DynamicsError::InvalidGraph {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Result alias for `bo3-dynamics`.
+pub type Result<T> = std::result::Result<T, DynamicsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DynamicsError::OpinionLengthMismatch { got: 3, expected: 5 };
+        assert!(e.to_string().contains("length 3"));
+        assert!(e.to_string().contains("5 vertices"));
+        let e = DynamicsError::DidNotConverge { rounds: 100 };
+        assert!(e.to_string().contains("100 rounds"));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let ge = bo3_graph::GraphError::EmptyGraph;
+        let de: DynamicsError = ge.into();
+        assert!(matches!(de, DynamicsError::InvalidGraph { .. }));
+    }
+}

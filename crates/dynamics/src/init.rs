@@ -1,0 +1,318 @@
+//! Initial opinion configurations.
+//!
+//! Theorem 1 assumes every vertex is independently blue with probability
+//! `1/2 − δ`; the other schemes here (exact counts, placement by degree or by
+//! block) exist to probe how much that independence assumption matters —
+//! the paper explicitly notes that the expander-based analyses ([5]) work in
+//! an adversarial-placement setting while its own proof exploits the i.i.d.
+//! start.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use bo3_graph::CsrGraph;
+
+use crate::error::{DynamicsError, Result};
+use crate::opinion::{Configuration, Opinion};
+
+/// A recipe for the initial configuration `ξ₀`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InitialCondition {
+    /// The paper's model: each vertex is blue independently with probability
+    /// `1/2 − delta` (red otherwise).
+    BernoulliWithBias {
+        /// The red bias `δ ∈ (0, 1/2]`; blue probability is `1/2 − δ`.
+        delta: f64,
+    },
+    /// Each vertex is blue independently with the given probability.
+    Bernoulli {
+        /// Blue probability in `[0, 1]`.
+        blue_probability: f64,
+    },
+    /// Exactly `blue` vertices are blue, chosen uniformly at random.
+    ExactCount {
+        /// Number of blue vertices.
+        blue: usize,
+    },
+    /// All vertices red.
+    AllRed,
+    /// All vertices blue.
+    AllBlue,
+    /// The `blue` vertices of **highest degree** are blue — an adversarial
+    /// placement that concentrates the minority where it is most influential.
+    HighestDegreeBlue {
+        /// Number of blue vertices.
+        blue: usize,
+    },
+    /// The `blue` vertices of **lowest degree** are blue.
+    LowestDegreeBlue {
+        /// Number of blue vertices.
+        blue: usize,
+    },
+    /// A fixed set of vertices is blue (e.g. one block of an SBM).
+    ExplicitBlue {
+        /// The vertices initially blue.
+        vertices: Vec<usize>,
+    },
+    /// The first `blue` vertices (ids `0..blue`) are blue — combined with the
+    /// block-numbered SBM/barbell generators this paints whole communities.
+    PrefixBlue {
+        /// Number of blue vertices.
+        blue: usize,
+    },
+}
+
+impl InitialCondition {
+    /// Instantiates the initial configuration on `graph`.
+    pub fn sample<R: Rng + ?Sized>(&self, graph: &CsrGraph, rng: &mut R) -> Result<Configuration> {
+        let n = graph.num_vertices();
+        match self {
+            InitialCondition::BernoulliWithBias { delta } => {
+                if !(*delta > 0.0) || *delta > 0.5 {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!("delta must lie in (0, 1/2], got {delta}"),
+                    });
+                }
+                bernoulli(n, 0.5 - delta, rng)
+            }
+            InitialCondition::Bernoulli { blue_probability } => {
+                if !(0.0..=1.0).contains(blue_probability) || blue_probability.is_nan() {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!("blue probability must lie in [0,1], got {blue_probability}"),
+                    });
+                }
+                bernoulli(n, *blue_probability, rng)
+            }
+            InitialCondition::ExactCount { blue } => {
+                if *blue > n {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!("cannot colour {blue} of {n} vertices blue"),
+                    });
+                }
+                // Partial Fisher–Yates over the vertex ids.
+                let mut ids: Vec<usize> = (0..n).collect();
+                for i in 0..*blue {
+                    let j = rng.gen_range(i..n);
+                    ids.swap(i, j);
+                }
+                let mut cfg = Configuration::all_red(n);
+                for &v in &ids[..*blue] {
+                    cfg.set(v, Opinion::Blue);
+                }
+                Ok(cfg)
+            }
+            InitialCondition::AllRed => Ok(Configuration::all_red(n)),
+            InitialCondition::AllBlue => Ok(Configuration::all_blue(n)),
+            InitialCondition::HighestDegreeBlue { blue } => by_degree(graph, *blue, true),
+            InitialCondition::LowestDegreeBlue { blue } => by_degree(graph, *blue, false),
+            InitialCondition::ExplicitBlue { vertices } => {
+                let mut cfg = Configuration::all_red(n);
+                for &v in vertices {
+                    if v >= n {
+                        return Err(DynamicsError::InvalidParameter {
+                            reason: format!("blue vertex {v} out of range for {n} vertices"),
+                        });
+                    }
+                    cfg.set(v, Opinion::Blue);
+                }
+                Ok(cfg)
+            }
+            InitialCondition::PrefixBlue { blue } => {
+                if *blue > n {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!("cannot colour {blue} of {n} vertices blue"),
+                    });
+                }
+                let mut cfg = Configuration::all_red(n);
+                for v in 0..*blue {
+                    cfg.set(v, Opinion::Blue);
+                }
+                Ok(cfg)
+            }
+        }
+    }
+
+    /// A short label for experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            InitialCondition::BernoulliWithBias { delta } => format!("bernoulli(delta={delta})"),
+            InitialCondition::Bernoulli { blue_probability } => {
+                format!("bernoulli(p_blue={blue_probability})")
+            }
+            InitialCondition::ExactCount { blue } => format!("exact(blue={blue})"),
+            InitialCondition::AllRed => "all_red".into(),
+            InitialCondition::AllBlue => "all_blue".into(),
+            InitialCondition::HighestDegreeBlue { blue } => format!("highest_degree(blue={blue})"),
+            InitialCondition::LowestDegreeBlue { blue } => format!("lowest_degree(blue={blue})"),
+            InitialCondition::ExplicitBlue { vertices } => format!("explicit(|B|={})", vertices.len()),
+            InitialCondition::PrefixBlue { blue } => format!("prefix(blue={blue})"),
+        }
+    }
+}
+
+fn bernoulli<R: Rng + ?Sized>(n: usize, p_blue: f64, rng: &mut R) -> Result<Configuration> {
+    let mut opinions = Vec::with_capacity(n);
+    for _ in 0..n {
+        opinions.push(if rng.gen::<f64>() < p_blue {
+            Opinion::Blue
+        } else {
+            Opinion::Red
+        });
+    }
+    Ok(Configuration::new(opinions))
+}
+
+fn by_degree(graph: &CsrGraph, blue: usize, highest: bool) -> Result<Configuration> {
+    let n = graph.num_vertices();
+    if blue > n {
+        return Err(DynamicsError::InvalidParameter {
+            reason: format!("cannot colour {blue} of {n} vertices blue"),
+        });
+    }
+    let mut by_deg: Vec<usize> = (0..n).collect();
+    if highest {
+        by_deg.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    } else {
+        by_deg.sort_by_key(|&v| graph.degree(v));
+    }
+    let mut cfg = Configuration::all_red(n);
+    for &v in &by_deg[..blue] {
+        cfg.set(v, Opinion::Blue);
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bo3_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_with_bias_validates_delta() {
+        let g = generators::complete(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(InitialCondition::BernoulliWithBias { delta: 0.0 }
+            .sample(&g, &mut rng)
+            .is_err());
+        assert!(InitialCondition::BernoulliWithBias { delta: 0.7 }
+            .sample(&g, &mut rng)
+            .is_err());
+        assert!(InitialCondition::BernoulliWithBias { delta: 0.2 }
+            .sample(&g, &mut rng)
+            .is_ok());
+    }
+
+    #[test]
+    fn bernoulli_bias_concentrates_near_expectation() {
+        let g = generators::complete(20_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = InitialCondition::BernoulliWithBias { delta: 0.1 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let frac = cfg.blue_fraction();
+        assert!((frac - 0.4).abs() < 0.02, "blue fraction {frac}");
+    }
+
+    #[test]
+    fn bernoulli_probability_validation_and_extremes() {
+        let g = generators::complete(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(InitialCondition::Bernoulli { blue_probability: 1.4 }
+            .sample(&g, &mut rng)
+            .is_err());
+        let all_blue = InitialCondition::Bernoulli { blue_probability: 1.0 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        assert_eq!(all_blue.blue_count(), 50);
+        let all_red = InitialCondition::Bernoulli { blue_probability: 0.0 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        assert_eq!(all_red.blue_count(), 0);
+    }
+
+    #[test]
+    fn exact_count_is_exact() {
+        let g = generators::complete(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        for &blue in &[0usize, 1, 37, 100] {
+            let cfg = InitialCondition::ExactCount { blue }.sample(&g, &mut rng).unwrap();
+            assert_eq!(cfg.blue_count(), blue);
+        }
+        assert!(InitialCondition::ExactCount { blue: 101 }
+            .sample(&g, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn exact_count_placement_varies_with_seed() {
+        let g = generators::complete(50);
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = InitialCondition::ExactCount { blue: 10 }.sample(&g, &mut rng1).unwrap();
+        let b = InitialCondition::ExactCount { blue: 10 }.sample(&g, &mut rng2).unwrap();
+        assert_ne!(a.blue_vertices(), b.blue_vertices());
+    }
+
+    #[test]
+    fn all_red_and_all_blue() {
+        let g = generators::complete(7);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            InitialCondition::AllRed.sample(&g, &mut rng).unwrap().blue_count(),
+            0
+        );
+        assert_eq!(
+            InitialCondition::AllBlue.sample(&g, &mut rng).unwrap().blue_count(),
+            7
+        );
+    }
+
+    #[test]
+    fn degree_based_placement_targets_the_right_vertices() {
+        let g = generators::star(10).unwrap(); // vertex 0 is the hub
+        let mut rng = StdRng::seed_from_u64(7);
+        let high = InitialCondition::HighestDegreeBlue { blue: 1 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        assert_eq!(high.blue_vertices(), vec![0]);
+        let low = InitialCondition::LowestDegreeBlue { blue: 2 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        assert!(!low.blue_vertices().contains(&0));
+        assert_eq!(low.blue_count(), 2);
+        assert!(InitialCondition::HighestDegreeBlue { blue: 11 }
+            .sample(&g, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_and_prefix_placement() {
+        let g = generators::complete(10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = InitialCondition::ExplicitBlue { vertices: vec![2, 5, 7] }
+            .sample(&g, &mut rng)
+            .unwrap();
+        assert_eq!(cfg.blue_vertices(), vec![2, 5, 7]);
+        assert!(InitialCondition::ExplicitBlue { vertices: vec![99] }
+            .sample(&g, &mut rng)
+            .is_err());
+
+        let prefix = InitialCondition::PrefixBlue { blue: 4 }.sample(&g, &mut rng).unwrap();
+        assert_eq!(prefix.blue_vertices(), vec![0, 1, 2, 3]);
+        assert!(InitialCondition::PrefixBlue { blue: 11 }.sample(&g, &mut rng).is_err());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(InitialCondition::BernoulliWithBias { delta: 0.05 }
+            .label()
+            .contains("0.05"));
+        assert!(InitialCondition::ExactCount { blue: 9 }.label().contains("9"));
+        assert_eq!(InitialCondition::AllRed.label(), "all_red");
+        assert!(InitialCondition::ExplicitBlue { vertices: vec![1, 2] }
+            .label()
+            .contains("|B|=2"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # bo3-dynamics
+//!
+//! The voting-dynamics engine for the reproduction of *“Best-of-Three Voting
+//! on Dense Graphs”* (Kang & Rivera, SPAA 2019).
+//!
+//! The crate simulates synchronous (and, as an ablation, asynchronous)
+//! opinion dynamics on a [`bo3_graph::CsrGraph`]:
+//!
+//! * [`opinion`] — the two-party opinion space and configurations `ξ_t`;
+//! * [`protocol`] — Best-of-3 (the paper's protocol) plus the baselines the
+//!   paper positions itself against: the voter model, Best-of-2, Best-of-k
+//!   and deterministic local majority;
+//! * [`init`] — initial conditions, from the paper's i.i.d.
+//!   `Bernoulli(1/2 − δ)` start to adversarial placements;
+//! * [`engine`] / [`parallel`] — single-threaded and deterministic
+//!   multi-threaded steppers;
+//! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
+//!   statistics the experiments report;
+//! * [`trace`], [`schedule`], [`stopping`], [`config`] — supporting types.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bo3_dynamics::prelude::*;
+//! use bo3_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let graph = generators::complete(200);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+//!     .sample(&graph, &mut rng)
+//!     .unwrap();
+//! let sim = Simulator::new(&graph).unwrap();
+//! let result = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+//! assert!(result.red_won());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod init;
+pub mod montecarlo;
+pub mod opinion;
+pub mod parallel;
+pub mod protocol;
+pub mod schedule;
+pub mod stats;
+pub mod stopping;
+pub mod trace;
+
+/// Convenient re-exports of the types most callers need.
+pub mod prelude {
+    pub use crate::config::ProtocolSpec;
+    pub use crate::engine::{RunResult, Simulator};
+    pub use crate::error::{DynamicsError, Result};
+    pub use crate::init::InitialCondition;
+    pub use crate::montecarlo::{MonteCarlo, MonteCarloReport, ReplicaOutcome};
+    pub use crate::opinion::{Configuration, Opinion};
+    pub use crate::parallel::ParallelSimulator;
+    pub use crate::protocol::{
+        BestOfK, BestOfThree, BestOfTwo, LocalMajority, Protocol, TieRule, UpdateContext, Voter,
+    };
+    pub use crate::schedule::Schedule;
+    pub use crate::stats::{ProportionEstimate, Summary};
+    pub use crate::stopping::{StopReason, StoppingCondition};
+    pub use crate::trace::{RoundRecord, Trace};
+}
+
+pub use prelude::*;

@@ -1,0 +1,268 @@
+//! Monte-Carlo driver: many independent runs of the same experiment.
+//!
+//! Theorem 1 is a with-high-probability statement, so every experiment
+//! estimates probabilities and expectations over repeated runs.  The driver
+//! executes replicas across threads (each replica is single-threaded; the
+//! parallelism is across replicas, which is the efficient direction for the
+//! `n ≤ 10⁶` graphs used here) with deterministic per-replica seeding.
+
+use serde::{Deserialize, Serialize};
+
+use bo3_graph::CsrGraph;
+
+use crate::config::ProtocolSpec;
+use crate::engine::Simulator;
+use crate::error::Result;
+use crate::init::InitialCondition;
+use crate::opinion::Opinion;
+use crate::parallel::replica_rng;
+use crate::schedule::Schedule;
+use crate::stats::{ProportionEstimate, Summary};
+use crate::stopping::StoppingCondition;
+
+/// Outcome of one Monte-Carlo replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaOutcome {
+    /// Replica index (also the seed offset).
+    pub replica: usize,
+    /// Consensus winner (`None` when the round cap was hit first).
+    pub winner: Option<Opinion>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Blue fraction of the initial configuration actually sampled.
+    pub initial_blue_fraction: f64,
+    /// Blue fraction of the final configuration.
+    pub final_blue_fraction: f64,
+}
+
+/// Aggregate of a Monte-Carlo batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloReport {
+    /// Per-replica outcomes, in replica order.
+    pub outcomes: Vec<ReplicaOutcome>,
+    /// Fraction of replicas that reached consensus at all.
+    pub consensus_rate: f64,
+    /// Probability that red (the initial majority in the paper's setting) won,
+    /// with a Wilson 95% interval; `None` when no replica reached consensus.
+    pub red_win: Option<ProportionEstimate>,
+    /// Summary of the consensus times over replicas that reached consensus.
+    pub rounds_to_consensus: Option<Summary>,
+}
+
+impl MonteCarloReport {
+    fn from_outcomes(outcomes: Vec<ReplicaOutcome>) -> Self {
+        let total = outcomes.len();
+        let consensus: Vec<&ReplicaOutcome> =
+            outcomes.iter().filter(|o| o.winner.is_some()).collect();
+        let consensus_rate = if total == 0 {
+            0.0
+        } else {
+            consensus.len() as f64 / total as f64
+        };
+        let red_wins = consensus.iter().filter(|o| o.winner == Some(Opinion::Red)).count();
+        let red_win = ProportionEstimate::new(red_wins, consensus.len());
+        let rounds: Vec<f64> = consensus.iter().map(|o| o.rounds as f64).collect();
+        let rounds_to_consensus = Summary::of(&rounds);
+        MonteCarloReport {
+            outcomes,
+            consensus_rate,
+            red_win,
+            rounds_to_consensus,
+        }
+    }
+
+    /// Mean consensus time (rounds), when at least one replica converged.
+    pub fn mean_rounds(&self) -> Option<f64> {
+        self.rounds_to_consensus.as_ref().map(|s| s.mean)
+    }
+}
+
+/// A fully described Monte-Carlo experiment on a fixed graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarlo {
+    /// Which protocol to run.
+    pub protocol: ProtocolSpec,
+    /// How initial opinions are drawn each replica.
+    pub initial: InitialCondition,
+    /// Update schedule.
+    pub schedule: Schedule,
+    /// Stopping condition per replica.
+    pub stopping: StoppingCondition,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Master seed; replica `i` uses the stream `replica_rng(master_seed, i)`.
+    pub master_seed: u64,
+    /// Number of worker threads (`0` = available parallelism, `1` = sequential).
+    pub threads: usize,
+}
+
+impl MonteCarlo {
+    /// A reasonable default experiment: Best-of-3, the paper's initial
+    /// condition, synchronous updates, consensus within 10⁴ rounds.
+    pub fn best_of_three(delta: f64, replicas: usize, master_seed: u64) -> Self {
+        MonteCarlo {
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::BernoulliWithBias { delta },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::default(),
+            replicas,
+            master_seed,
+            threads: 0,
+        }
+    }
+
+    /// Runs every replica and aggregates the results.
+    pub fn run(&self, graph: &CsrGraph) -> Result<MonteCarloReport> {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let threads = threads.min(self.replicas.max(1));
+
+        if threads <= 1 {
+            let mut outcomes = Vec::with_capacity(self.replicas);
+            for replica in 0..self.replicas {
+                outcomes.push(self.run_one(graph, replica)?);
+            }
+            return Ok(MonteCarloReport::from_outcomes(outcomes));
+        }
+
+        let next_replica = std::sync::atomic::AtomicUsize::new(0);
+        let results: parking_lot::Mutex<Vec<Option<Result<ReplicaOutcome>>>> =
+            parking_lot::Mutex::new((0..self.replicas).map(|_| None).collect());
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let replica =
+                        next_replica.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if replica >= self.replicas {
+                        break;
+                    }
+                    let outcome = self.run_one(graph, replica);
+                    results.lock()[replica] = Some(outcome);
+                });
+            }
+        })
+        .expect("Monte-Carlo worker panicked");
+
+        let mut outcomes = Vec::with_capacity(self.replicas);
+        for slot in results.into_inner() {
+            outcomes.push(slot.expect("replica not executed")?);
+        }
+        Ok(MonteCarloReport::from_outcomes(outcomes))
+    }
+
+    /// Runs a single replica (deterministic in `(master_seed, replica)`).
+    pub fn run_one(&self, graph: &CsrGraph, replica: usize) -> Result<ReplicaOutcome> {
+        let mut rng = replica_rng(self.master_seed, replica as u64);
+        let protocol = self.protocol.build();
+        let simulator = Simulator::new(graph)?
+            .with_schedule(self.schedule)
+            .with_stopping(self.stopping);
+        let initial = self.initial.sample(graph, &mut rng)?;
+        let result = simulator.run(protocol.as_ref(), initial, &mut rng)?;
+        Ok(ReplicaOutcome {
+            replica,
+            winner: result.winner,
+            rounds: result.rounds,
+            initial_blue_fraction: result.initial_blue_fraction,
+            final_blue_fraction: result.final_blue_fraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bo3_graph::generators;
+
+    #[test]
+    fn best_of_three_on_dense_graph_red_wins_every_time() {
+        let g = generators::complete(300);
+        let mc = MonteCarlo::best_of_three(0.15, 20, 7);
+        let report = mc.run(&g).unwrap();
+        assert_eq!(report.outcomes.len(), 20);
+        assert!((report.consensus_rate - 1.0).abs() < 1e-12);
+        let red = report.red_win.unwrap();
+        assert_eq!(red.successes, red.trials, "red should win every replica");
+        assert!(report.mean_rounds().unwrap() < 25.0);
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree() {
+        let g = generators::complete(150);
+        let mut mc = MonteCarlo::best_of_three(0.1, 10, 3);
+        mc.threads = 1;
+        let seq = mc.run(&g).unwrap();
+        mc.threads = 4;
+        let par = mc.run(&g).unwrap();
+        assert_eq!(seq.outcomes, par.outcomes);
+    }
+
+    #[test]
+    fn replicas_differ_but_are_reproducible() {
+        let g = generators::complete(120);
+        let mc = MonteCarlo::best_of_three(0.1, 6, 11);
+        let a = mc.run(&g).unwrap();
+        let b = mc.run(&g).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        // Initial configurations should differ between replicas.
+        let fracs: Vec<f64> = a.outcomes.iter().map(|o| o.initial_blue_fraction).collect();
+        assert!(fracs.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn voter_model_report_shows_non_trivial_blue_wins() {
+        // With 40% blue initially, the voter model lets blue win a
+        // non-negligible fraction of the time (proportional-to-share rule),
+        // unlike Best-of-3.
+        let g = generators::complete(60);
+        let mc = MonteCarlo {
+            protocol: ProtocolSpec::Voter,
+            initial: InitialCondition::ExactCount { blue: 24 },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(200_000),
+            replicas: 60,
+            master_seed: 5,
+            threads: 0,
+        };
+        let report = mc.run(&g).unwrap();
+        assert!((report.consensus_rate - 1.0).abs() < 1e-12);
+        let red = report.red_win.unwrap();
+        assert!(red.estimate < 0.95, "red win rate {}", red.estimate);
+        assert!(red.estimate > 0.30, "red win rate {}", red.estimate);
+    }
+
+    #[test]
+    fn round_cap_shows_up_as_missing_winner() {
+        let g = generators::complete(100);
+        let mc = MonteCarlo {
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::ExactCount { blue: 50 },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::fixed_rounds(1),
+            replicas: 5,
+            master_seed: 1,
+            threads: 1,
+        };
+        let report = mc.run(&g).unwrap();
+        // One round from a dead heat essentially never reaches consensus.
+        assert!(report.consensus_rate < 1.0);
+        for o in &report.outcomes {
+            assert!(o.rounds <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_replicas_is_a_valid_degenerate_batch() {
+        let g = generators::complete(30);
+        let mc = MonteCarlo::best_of_three(0.1, 0, 0);
+        let report = mc.run(&g).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.consensus_rate, 0.0);
+        assert!(report.red_win.is_none());
+        assert!(report.rounds_to_consensus.is_none());
+    }
+}

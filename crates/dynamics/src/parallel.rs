@@ -1,0 +1,301 @@
+//! Multi-threaded synchronous stepper.
+//!
+//! The synchronous round is embarrassingly parallel: every vertex's new
+//! opinion depends only on the previous round's snapshot.  The stepper
+//! partitions the vertex range into fixed-size chunks and processes chunks
+//! across a scoped thread pool (crossbeam), writing each chunk's results into
+//! its disjoint slice of the output buffer — no locks, no atomics on the hot
+//! path.
+//!
+//! **Determinism.** Every chunk derives its own RNG from
+//! `(master_seed, round, chunk_index)` via ChaCha8, so results are bit-for-bit
+//! identical regardless of how many worker threads run the chunks.  This is
+//! the property the engine ablation (sequential vs. parallel stepper) checks.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use bo3_graph::{CsrGraph, NeighbourSampler};
+
+use crate::error::{DynamicsError, Result};
+use crate::opinion::{Configuration, Opinion};
+use crate::protocol::{Protocol, UpdateContext};
+use crate::stopping::StoppingCondition;
+use crate::trace::Trace;
+use crate::engine::RunResult;
+
+/// Number of vertices per work unit. Fixed (rather than `n / threads`) so the
+/// chunk→RNG mapping, and therefore the simulation output, does not depend on
+/// the thread count.
+const CHUNK_SIZE: usize = 4096;
+
+/// A multi-threaded synchronous simulator.
+pub struct ParallelSimulator<'g> {
+    graph: &'g CsrGraph,
+    sampler: NeighbourSampler<'g>,
+    stopping: StoppingCondition,
+    threads: usize,
+    record_trace: bool,
+}
+
+impl<'g> ParallelSimulator<'g> {
+    /// Creates a parallel simulator using `threads` worker threads
+    /// (`0` means "number of available CPUs").
+    pub fn new(graph: &'g CsrGraph, threads: usize) -> Result<Self> {
+        if graph.num_vertices() == 0 {
+            return Err(DynamicsError::InvalidGraph {
+                reason: "cannot run dynamics on the empty graph".into(),
+            });
+        }
+        let sampler = NeighbourSampler::new(graph)?;
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        Ok(ParallelSimulator {
+            graph,
+            sampler,
+            stopping: StoppingCondition::default(),
+            threads,
+            record_trace: false,
+        })
+    }
+
+    /// Sets the stopping condition.
+    pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Enables per-round trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Number of worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One deterministic parallel synchronous round.
+    ///
+    /// `round` and `master_seed` feed the per-chunk RNG derivation.
+    pub fn step(
+        &self,
+        protocol: &(dyn Protocol + Sync),
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        let n = self.graph.num_vertices();
+        let prev = current.as_slice();
+        next.clear();
+        next.resize(n, Opinion::Red);
+
+        let next_slice = &mut next[..];
+
+        // Statically assign chunks round-robin to workers before spawning, so
+        // each worker owns a disjoint set of output slices (lock-free) and the
+        // chunk → RNG mapping stays independent of the thread count.
+        let workers = self.threads.max(1);
+        let mut per_thread: Vec<Vec<(usize, &mut [Opinion])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (chunk, slice) in next_slice.chunks_mut(CHUNK_SIZE).enumerate() {
+            per_thread[chunk % workers].push((chunk, slice));
+        }
+        let sampler_ref = &self.sampler;
+
+        crossbeam::thread::scope(|scope| {
+            for bucket in per_thread.drain(..) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                scope.spawn(move |_| {
+                    for (chunk, out) in bucket {
+                        let start = chunk * CHUNK_SIZE;
+                        let mut rng = chunk_rng(master_seed, round, chunk as u64);
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            let v = start + i;
+                            let ctx = UpdateContext {
+                                vertex: v,
+                                current: prev[v],
+                                previous: prev,
+                                sampler: sampler_ref,
+                            };
+                            *slot = protocol.update(&ctx, &mut rng);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Runs the dynamics from `initial` until the stopping condition fires,
+    /// using `master_seed` to derive all randomness.
+    pub fn run(
+        &self,
+        protocol: &(dyn Protocol + Sync),
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        if initial.len() != self.graph.num_vertices() {
+            return Err(DynamicsError::OpinionLengthMismatch {
+                got: initial.len(),
+                expected: self.graph.num_vertices(),
+            });
+        }
+        let initial_blue_fraction = initial.blue_fraction();
+        let mut config = initial;
+        let mut trace = if self.record_trace { Some(Trace::new()) } else { None };
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &config);
+        }
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(config.len());
+        let mut rounds = 0usize;
+        let stop_reason = loop {
+            if let Some(reason) = self.stopping.should_stop(&config, rounds) {
+                break reason;
+            }
+            self.step(protocol, &config, &mut scratch, master_seed, rounds as u64);
+            config.overwrite_from(&scratch);
+            rounds += 1;
+            if let Some(t) = trace.as_mut() {
+                t.record(rounds, &config);
+            }
+        };
+        Ok(RunResult {
+            stop_reason,
+            winner: stop_reason.winner(),
+            rounds,
+            initial_blue_fraction,
+            final_blue_fraction: config.blue_fraction(),
+            trace,
+        })
+    }
+}
+
+/// Derives the RNG for one `(seed, round, chunk)` work unit.
+fn chunk_rng(master_seed: u64, round: u64, chunk: u64) -> impl RngCore {
+    // SplitMix-style mixing of the three coordinates into a 64-bit stream id,
+    // then ChaCha8 for the actual stream (cheap, high quality, seekable).
+    let mut z = master_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round.wrapping_add(1)))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(chunk.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ChaCha8Rng::seed_from_u64(z)
+}
+
+/// Derives a per-replica RNG for Monte-Carlo runs; exposed so the sequential
+/// and parallel Monte-Carlo drivers agree on the seeding scheme.
+pub fn replica_rng(master_seed: u64, replica: u64) -> StdRng {
+    let mut z = master_seed ^ 0xD6E8_FEB8_6659_FD93u64.wrapping_mul(replica.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitialCondition;
+    use crate::protocol::BestOfThree;
+    use bo3_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_graphs() {
+        let empty = bo3_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(ParallelSimulator::new(&empty, 2).is_err());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let g = generators::complete(10);
+        let sim = ParallelSimulator::new(&g, 0).unwrap();
+        assert!(sim.threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_run_reaches_red_consensus() {
+        let g = generators::complete(600);
+        let sim = ParallelSimulator::new(&g, 4).unwrap().with_trace(true);
+        let mut rng = StdRng::seed_from_u64(0);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.12 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let res = sim.run(&BestOfThree::new(), init, 99).unwrap();
+        assert!(res.red_won());
+        assert!(res.rounds <= 40);
+        assert_eq!(res.trace.unwrap().len(), res.rounds + 1);
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let g = generators::complete(700);
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.08 }
+            .sample(&g, &mut rng)
+            .unwrap();
+
+        let run_with = |threads: usize| {
+            let sim = ParallelSimulator::new(&g, threads).unwrap().with_trace(true);
+            sim.run(&BestOfThree::new(), init.clone(), 1234).unwrap()
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        let eight = run_with(8);
+        assert_eq!(one, four);
+        assert_eq!(four, eight);
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_runs() {
+        let g = generators::complete(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = InitialCondition::ExactCount { blue: 200 }.sample(&g, &mut rng).unwrap();
+        let sim = ParallelSimulator::new(&g, 4).unwrap().with_trace(true);
+        let a = sim.run(&BestOfThree::new(), init.clone(), 7).unwrap();
+        let b = sim.run(&BestOfThree::new(), init, 8).unwrap();
+        assert!(a.trace != b.trace || a.rounds != b.rounds);
+    }
+
+    #[test]
+    fn single_step_matches_configuration_size() {
+        let g = generators::complete(100);
+        let sim = ParallelSimulator::new(&g, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = InitialCondition::ExactCount { blue: 40 }.sample(&g, &mut rng).unwrap();
+        let mut next = Vec::new();
+        sim.step(&BestOfThree::new(), &init, &mut next, 5, 0);
+        assert_eq!(next.len(), 100);
+    }
+
+    #[test]
+    fn replica_rngs_are_distinct() {
+        let mut a = replica_rng(1, 0);
+        let mut b = replica_rng(1, 1);
+        let va: Vec<u32> = (0..4).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..4).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+        // Same coordinates → same stream.
+        let mut c = replica_rng(1, 0);
+        let vc: Vec<u32> = (0..4).map(|_| c.next_u32()).collect();
+        assert_eq!(va, vc);
+    }
+
+    #[test]
+    fn mismatched_initial_configuration_is_rejected() {
+        let g = generators::complete(10);
+        let sim = ParallelSimulator::new(&g, 2).unwrap();
+        let bad = Configuration::all_red(4);
+        assert!(sim.run(&BestOfThree::new(), bad, 0).is_err());
+    }
+}

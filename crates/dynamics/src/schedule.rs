@@ -1,0 +1,54 @@
+//! Update schedules.
+//!
+//! The paper's process is *synchronous*: in round `t + 1` every vertex reads
+//! the round-`t` snapshot.  The asynchronous (random sequential) variant is
+//! provided as an ablation — it breaks the voting-DAG duality but is the
+//! natural model in some distributed systems.
+
+use serde::{Deserialize, Serialize};
+
+/// When vertices read each other's opinions within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// All vertices update simultaneously from the previous round's snapshot
+    /// (the paper's model).
+    Synchronous,
+    /// Vertices update one at a time in a fresh uniformly random order each
+    /// round, each reading the *current* (partially updated) state.
+    AsynchronousRandomOrder,
+}
+
+impl Schedule {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Synchronous => "synchronous",
+            Schedule::AsynchronousRandomOrder => "asynchronous",
+        }
+    }
+
+    /// `true` for the paper's synchronous model.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, Schedule::Synchronous)
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Synchronous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(Schedule::Synchronous.label(), "synchronous");
+        assert_eq!(Schedule::AsynchronousRandomOrder.label(), "asynchronous");
+        assert_eq!(Schedule::default(), Schedule::Synchronous);
+        assert!(Schedule::Synchronous.is_synchronous());
+        assert!(!Schedule::AsynchronousRandomOrder.is_synchronous());
+    }
+}

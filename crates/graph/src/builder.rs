@@ -1,0 +1,220 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::error::{GraphError, Result};
+
+/// Accumulates undirected edges and produces a validated [`CsrGraph`].
+///
+/// Duplicate edges are merged; self-loops are rejected at insertion time.
+///
+/// ```
+/// use bo3_graph::builder::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+///     .unwrap()
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder and pre-allocates room for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently queued (before deduplication).
+    pub fn queued_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a single undirected edge `{u, v}`.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId) -> Result<Self> {
+        self.push_edge(u, v)?;
+        Ok(self)
+    }
+
+    /// Adds many undirected edges at once.
+    pub fn add_edges<I>(mut self, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.push_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// In-place variant of [`GraphBuilder::add_edge`] for loop-heavy callers
+    /// (generators) that do not want to thread ownership through `?`.
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Finalises the builder into a [`CsrGraph`].
+    ///
+    /// Runs in `O(m log m + n)` time: edges are sorted, deduplicated, and
+    /// scattered into CSR rows.
+    pub fn build(mut self) -> Result<CsrGraph> {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u] += 1;
+            degrees[v] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degrees[v]);
+        }
+
+        let total = *offsets.last().unwrap_or(&0);
+        let mut neighbours = vec![0 as VertexId; total];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            neighbours[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbours[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each row must end up sorted. Rows for `u` receive the larger
+        // endpoints in sorted order (edges are sorted lexicographically), but
+        // smaller endpoints are interleaved, so sort each row explicitly;
+        // rows are short on sparse graphs and already nearly sorted.
+        for v in 0..n {
+            neighbours[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        Ok(CsrGraph::from_csr_unchecked(n, offsets, neighbours))
+    }
+
+    /// Builds directly from a list of edges.
+    pub fn from_edge_list(n: usize, edges: &[(VertexId, VertexId)]) -> Result<CsrGraph> {
+        GraphBuilder::with_capacity(n, edges.len())
+            .add_edges(edges.iter().copied())?
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_path() {
+        let g = GraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbours(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let g = GraphBuilder::new(2)
+            .add_edges([(0, 1), (1, 0), (0, 1)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = GraphBuilder::new(2).add_edge(1, 1).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = GraphBuilder::new(2).add_edge(0, 2).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+    }
+
+    #[test]
+    fn neighbour_rows_are_sorted() {
+        let g = GraphBuilder::new(5)
+            .add_edges([(4, 2), (2, 0), (2, 3), (2, 1)])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(g.neighbours(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn from_edge_list_helper() {
+        let g = GraphBuilder::from_edge_list(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = GraphBuilder::new(4).add_edge(0, 1).unwrap().build().unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbours(3), &[] as &[usize]);
+    }
+
+    #[test]
+    fn zero_vertex_build() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn queued_edges_counts_before_dedup() {
+        let b = GraphBuilder::new(3).add_edges([(0, 1), (0, 1)]).unwrap();
+        assert_eq!(b.queued_edges(), 2);
+        assert_eq!(b.num_vertices(), 3);
+    }
+
+    #[test]
+    fn push_edge_in_place() {
+        let mut b = GraphBuilder::with_capacity(3, 3);
+        b.push_edge(0, 1).unwrap();
+        b.push_edge(2, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

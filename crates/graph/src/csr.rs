@@ -1,0 +1,402 @@
+//! Compressed sparse row (CSR) storage for undirected simple graphs.
+//!
+//! The voting dynamics spend essentially all of their time doing two things:
+//! reading `degree(v)` and sampling uniform random neighbours of `v`.  A CSR
+//! layout keeps each adjacency list contiguous in memory, so both operations
+//! are a single offset lookup plus an indexed read, with no pointer chasing
+//! and no per-vertex allocation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+
+/// Vertex identifier. Vertices are always `0..n`.
+pub type VertexId = usize;
+
+/// An undirected simple graph in compressed sparse row form.
+///
+/// Invariants maintained by every constructor in this crate:
+///
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, `offsets[n] == neighbours.len()`;
+/// * the neighbour slice of every vertex is sorted and free of duplicates;
+/// * there are no self-loops;
+/// * adjacency is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    n: usize,
+    offsets: Vec<usize>,
+    neighbours: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays, validating every invariant.
+    ///
+    /// Prefer [`crate::builder::GraphBuilder`] or a generator unless the CSR
+    /// arrays are already at hand (e.g. deserialised from disk).
+    pub fn from_csr(n: usize, offsets: Vec<usize>, neighbours: Vec<VertexId>) -> Result<Self> {
+        if offsets.len() != n + 1 {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("offsets must have length n+1 = {}, got {}", n + 1, offsets.len()),
+            });
+        }
+        if offsets[0] != 0 || offsets[n] != neighbours.len() {
+            return Err(GraphError::InvalidParameter {
+                reason: "offsets must start at 0 and end at neighbours.len()".into(),
+            });
+        }
+        for v in 0..n {
+            if offsets[v] > offsets[v + 1] {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("offsets must be non-decreasing (vertex {v})"),
+                });
+            }
+            let row = &neighbours[offsets[v]..offsets[v + 1]];
+            for (i, &w) in row.iter().enumerate() {
+                if w >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: w, n });
+                }
+                if w == v {
+                    return Err(GraphError::SelfLoop { vertex: v });
+                }
+                if i > 0 && row[i - 1] >= w {
+                    return Err(GraphError::InvalidParameter {
+                        reason: format!("neighbour row of vertex {v} must be strictly increasing"),
+                    });
+                }
+            }
+        }
+        let g = CsrGraph { n, offsets, neighbours };
+        // Symmetry check: every edge must appear in both directions.
+        for v in 0..n {
+            for &w in g.neighbours(v) {
+                if !g.has_edge(w, v) {
+                    return Err(GraphError::InvalidParameter {
+                        reason: format!("adjacency not symmetric: {v}->{w} present but {w}->{v} missing"),
+                    });
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Builds a graph from CSR arrays **without** validation.
+    ///
+    /// Used by the builder and the generators, which construct the arrays so
+    /// that the invariants hold by construction.
+    pub(crate) fn from_csr_unchecked(
+        n: usize,
+        offsets: Vec<usize>,
+        neighbours: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), n + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbours.len());
+        CsrGraph { n, offsets, neighbours }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbours.len() / 2
+    }
+
+    /// `true` when the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.n);
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &[VertexId] {
+        debug_assert!(v < self.n);
+        &self.neighbours[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The `i`-th neighbour of `v` (0-based, in sorted order).
+    ///
+    /// This is the hot path of neighbour sampling: drawing a uniform index in
+    /// `0..degree(v)` and reading this slot samples a uniform neighbour.
+    #[inline]
+    pub fn neighbour_at(&self, v: VertexId, i: usize) -> VertexId {
+        debug_assert!(i < self.degree(v));
+        self.neighbours[self.offsets[v] + i]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        self.neighbours(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.n
+    }
+
+    /// Iterator over every undirected edge `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbours(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over every directed arc `(u, v)`; each undirected edge appears twice.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| self.neighbours(u).iter().copied().map(move |v| (u, v)))
+    }
+
+    /// Minimum degree over all vertices; `None` on the empty graph.
+    pub fn min_degree(&self) -> Option<usize> {
+        (0..self.n).map(|v| self.degree(v)).min()
+    }
+
+    /// Maximum degree over all vertices; `None` on the empty graph.
+    pub fn max_degree(&self) -> Option<usize> {
+        (0..self.n).map(|v| self.degree(v)).max()
+    }
+
+    /// Sum of degrees (twice the number of edges).
+    pub fn total_degree(&self) -> usize {
+        self.neighbours.len()
+    }
+
+    /// Average degree, `0.0` on the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total_degree() as f64 / self.n as f64
+        }
+    }
+
+    /// Returns the raw CSR arrays `(offsets, neighbours)`.
+    pub fn as_csr(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.neighbours)
+    }
+
+    /// Consumes the graph and returns the raw CSR arrays.
+    pub fn into_csr(self) -> (usize, Vec<usize>, Vec<VertexId>) {
+        (self.n, self.offsets, self.neighbours)
+    }
+
+    /// The induced subgraph on `keep` (given as a sorted, deduplicated or not,
+    /// set of vertex ids). Vertices are relabelled `0..keep.len()` in the
+    /// order they appear after sorting/dedup. Returns the subgraph and the
+    /// mapping `new_id -> old_id`.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> Result<(CsrGraph, Vec<VertexId>)> {
+        let mut ids: Vec<VertexId> = keep.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        for &v in &ids {
+            if v >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            }
+        }
+        let mut old_to_new = vec![usize::MAX; self.n];
+        for (new, &old) in ids.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut offsets = Vec::with_capacity(ids.len() + 1);
+        let mut neighbours = Vec::new();
+        offsets.push(0);
+        for &old in &ids {
+            for &w in self.neighbours(old) {
+                let mapped = old_to_new[w];
+                if mapped != usize::MAX {
+                    neighbours.push(mapped);
+                }
+            }
+            // Neighbour rows stay sorted because the relabelling is monotone.
+            offsets.push(neighbours.len());
+        }
+        Ok((
+            CsrGraph::from_csr_unchecked(ids.len(), offsets, neighbours),
+            ids,
+        ))
+    }
+
+    /// The complement graph (on the same vertex set, no self-loops).
+    ///
+    /// Quadratic in `n`; intended for small graphs in tests and examples.
+    pub fn complement(&self) -> CsrGraph {
+        let n = self.n;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbours = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            let adj = self.neighbours(v);
+            let mut ai = 0;
+            for w in 0..n {
+                while ai < adj.len() && adj[ai] < w {
+                    ai += 1;
+                }
+                let present = ai < adj.len() && adj[ai] == w;
+                if w != v && !present {
+                    neighbours.push(w);
+                }
+            }
+            offsets.push(neighbours.len());
+        }
+        CsrGraph::from_csr_unchecked(n, offsets, neighbours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbours(1), &[0, 2]);
+        assert_eq!(g.min_degree(), Some(2));
+        assert_eq!(g.max_degree(), Some(2));
+        assert_eq!(g.total_degree(), 6);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_and_neighbour_at() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 5));
+        assert_eq!(g.neighbour_at(2, 0), 0);
+        assert_eq!(g.neighbour_at(2, 1), 1);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.arcs().count(), 6);
+    }
+
+    #[test]
+    fn from_csr_validates_offsets_length() {
+        let err = CsrGraph::from_csr(2, vec![0, 1], vec![1]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn from_csr_rejects_self_loop() {
+        let err = CsrGraph::from_csr(2, vec![0, 1, 2], vec![0, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { vertex: 0 }));
+    }
+
+    #[test]
+    fn from_csr_rejects_asymmetric_adjacency() {
+        // 0 -> 1 present but 1 -> 0 missing.
+        let err = CsrGraph::from_csr(3, vec![0, 1, 1, 1], vec![1]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn from_csr_rejects_out_of_range_neighbour() {
+        let err = CsrGraph::from_csr(2, vec![0, 1, 2], vec![5, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+    }
+
+    #[test]
+    fn from_csr_accepts_valid_graph() {
+        let g = CsrGraph::from_csr(3, vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.min_degree(), None);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_of_complete_graph() {
+        let g = generators::complete(6);
+        let (sub, map) = g.induced_subgraph(&[1, 3, 5]).unwrap();
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // still complete
+        assert_eq!(map, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_out_of_range() {
+        let g = triangle();
+        assert!(g.induced_subgraph(&[0, 7]).is_err());
+    }
+
+    #[test]
+    fn complement_of_triangle_is_empty() {
+        let g = triangle();
+        let c = g.complement();
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.num_vertices(), 3);
+    }
+
+    #[test]
+    fn complement_of_path_is_correct() {
+        // Path 0-1-2-3: complement has edges {0,2},{0,3},{1,3}.
+        let g = GraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = g.complement();
+        let mut edges: Vec<_> = c.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 2), (0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_graph() {
+        let g = generators::complete(5);
+        // serde round trip through the generic in-memory representation used
+        // by io.rs is covered there; here check Clone/Eq semantics instead.
+        let h = g.clone();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn into_csr_and_back() {
+        let g = triangle();
+        let (n, offs, neigh) = g.clone().into_csr();
+        let h = CsrGraph::from_csr(n, offs, neigh).unwrap();
+        assert_eq!(g, h);
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types for graph construction and analysis.
+
+use std::fmt;
+
+/// Errors produced while building, generating, or reading graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a vertex id outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied where simple graphs are required.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: usize,
+    },
+    /// A generator was asked for an impossible parameter combination.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A degree sequence cannot be realised as a simple graph.
+    Unrealizable {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Parsing an edge-list or serialised graph failed.
+    Parse {
+        /// Line number (1-based) where the failure occurred, when known.
+        line: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// An I/O error occurred while reading or writing a graph.
+    Io {
+        /// Stringified `std::io::Error`.
+        reason: String,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// The operation requires every vertex to have at least one neighbour.
+    IsolatedVertex {
+        /// The isolated vertex.
+        vertex: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+            GraphError::Unrealizable { reason } => {
+                write!(f, "degree sequence not realisable: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            GraphError::Io { reason } => write!(f, "io error: {reason}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::IsolatedVertex { vertex } => {
+                write!(f, "vertex {vertex} has no neighbours")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Convenient result alias used throughout `bo3-graph`.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
+        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 5 vertices");
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop at vertex 3"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = GraphError::InvalidParameter {
+            reason: "p must lie in [0,1]".into(),
+        };
+        assert!(e.to_string().contains("p must lie in [0,1]"));
+    }
+
+    #[test]
+    fn display_parse_error_carries_line() {
+        let e = GraphError::Parse {
+            line: 12,
+            reason: "expected two integers".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        match e {
+            GraphError::Io { reason } => assert!(reason.contains("missing")),
+            other => panic!("unexpected variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::EmptyGraph, GraphError::EmptyGraph);
+        assert_ne!(
+            GraphError::EmptyGraph,
+            GraphError::IsolatedVertex { vertex: 0 }
+        );
+    }
+}

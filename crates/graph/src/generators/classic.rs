@@ -1,0 +1,151 @@
+//! Small deterministic families: cycle, path, star, wheel, complete bipartite.
+//!
+//! These sit far outside Theorem 1's dense regime and are used as negative
+//! controls (degree sweep E4) and as easy-to-reason-about fixtures in tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// Cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Result<CsrGraph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cycle requires n >= 3, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 0..n {
+        b.push_edge(v, (v + 1) % n)?;
+    }
+    b.build()
+}
+
+/// Path `P_n` (requires `n ≥ 2`).
+pub fn path(n: usize) -> Result<CsrGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("path requires n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 0..n - 1 {
+        b.push_edge(v, v + 1)?;
+    }
+    b.build()
+}
+
+/// Star `K_{1,n-1}` with centre `0` (requires `n ≥ 2`).
+pub fn star(n: usize) -> Result<CsrGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("star requires n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.push_edge(0, v)?;
+    }
+    b.build()
+}
+
+/// Wheel: a cycle on vertices `1..n` plus a hub `0` adjacent to all of them
+/// (requires `n ≥ 4`).
+pub fn wheel(n: usize) -> Result<CsrGraph> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("wheel requires n >= 4, got {n}"),
+        });
+    }
+    let rim = n - 1;
+    let mut b = GraphBuilder::with_capacity(n, 2 * rim);
+    for i in 0..rim {
+        let u = 1 + i;
+        let v = 1 + (i + 1) % rim;
+        b.push_edge(u, v)?;
+        b.push_edge(0, u)?;
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`
+/// (requires `a ≥ 1` and `b ≥ 1`).
+pub fn complete_bipartite(a: usize, b: usize) -> Result<CsrGraph> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("complete bipartite requires both sides non-empty, got ({a},{b})"),
+        });
+    }
+    let n = a + b;
+    let mut builder = GraphBuilder::with_capacity(n, a * b);
+    for u in 0..a {
+        for v in a..n {
+            builder.push_edge(u, v)?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 5));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star(7).unwrap();
+        assert_eq!(g.degree(0), 6);
+        for v in 1..7 {
+            assert_eq!(g.degree(v), 1);
+            assert!(g.has_edge(0, v));
+        }
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn wheel_properties() {
+        let g = wheel(6).unwrap();
+        // Hub degree n-1, rim degree 3.
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert_eq!(g.num_edges(), 10);
+        assert!(wheel(3).is_err());
+    }
+
+    #[test]
+    fn complete_bipartite_properties() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.num_edges(), 12);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 4);
+        }
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+        assert!(complete_bipartite(0, 3).is_err());
+        assert!(complete_bipartite(3, 0).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Stochastic block models and the planted-partition special case.
+//!
+//! Dense SBMs are members of the paper's graph family whose community
+//! structure lets us place the initial minority adversarially (all blue in
+//! one block), probing how far the "independently blue with probability
+//! 1/2 − δ" hypothesis can be stretched.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// General stochastic block model.
+///
+/// `block_sizes[i]` is the number of vertices in block `i`; `probs[i][j]` is
+/// the edge probability between blocks `i` and `j` (the matrix must be
+/// square, symmetric, with entries in `[0,1]`).  Vertices are numbered block
+/// by block.
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    block_sizes: &[usize],
+    probs: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<CsrGraph> {
+    let k = block_sizes.len();
+    if probs.len() != k || probs.iter().any(|row| row.len() != k) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("probability matrix must be {k}x{k}"),
+        });
+    }
+    for i in 0..k {
+        for j in 0..k {
+            let p = probs[i][j];
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("probability ({i},{j}) = {p} outside [0,1]"),
+                });
+            }
+            if (probs[i][j] - probs[j][i]).abs() > 1e-12 {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("probability matrix not symmetric at ({i},{j})"),
+                });
+            }
+        }
+    }
+
+    let n: usize = block_sizes.iter().sum();
+    // block_of[v] and the starting offset of each block.
+    let mut block_of = Vec::with_capacity(n);
+    for (b, &size) in block_sizes.iter().enumerate() {
+        block_of.extend(std::iter::repeat(b).take(size));
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = probs[block_of[u]][block_of[v]];
+            if p > 0.0 && rng.gen::<f64>() < p {
+                builder.push_edge(u, v)?;
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Planted partition: `blocks` equal blocks of `n / blocks` vertices, edge
+/// probability `p_in` within a block and `p_out` across blocks.
+/// Requires `blocks ≥ 1` and `blocks` dividing `n`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Result<CsrGraph> {
+    if blocks == 0 || n % blocks != 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("blocks ({blocks}) must be positive and divide n ({n})"),
+        });
+    }
+    let size = n / blocks;
+    let sizes = vec![size; blocks];
+    let mut probs = vec![vec![p_out; blocks]; blocks];
+    for (i, row) in probs.iter_mut().enumerate() {
+        row[i] = p_in;
+    }
+    stochastic_block_model(&sizes, &probs, rng)
+}
+
+/// Block membership for the planted-partition numbering: vertex `v` belongs
+/// to block `v / (n / blocks)`.
+pub fn planted_block_of(n: usize, blocks: usize, v: usize) -> usize {
+    v / (n / blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_probability_matrices() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // wrong shape
+        assert!(stochastic_block_model(&[3, 3], &[vec![0.5, 0.5]], &mut rng).is_err());
+        // out of range
+        assert!(
+            stochastic_block_model(&[3, 3], &[vec![0.5, 1.5], vec![1.5, 0.5]], &mut rng).is_err()
+        );
+        // asymmetric
+        assert!(
+            stochastic_block_model(&[3, 3], &[vec![0.5, 0.1], vec![0.2, 0.5]], &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn planted_partition_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(planted_partition(10, 0, 0.5, 0.1, &mut rng).is_err());
+        assert!(planted_partition(10, 3, 0.5, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn extreme_probabilities_give_cliques_or_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // p_in = 1, p_out = 0: disjoint cliques.
+        let g = planted_partition(20, 4, 1.0, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 4 * (5 * 4 / 2));
+        assert!(!g.has_edge(0, 5));
+        assert!(g.has_edge(0, 1));
+
+        // Everything zero: empty graph.
+        let e = planted_partition(20, 4, 0.0, 0.0, &mut rng).unwrap();
+        assert_eq!(e.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_densities_respect_block_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = planted_partition(200, 2, 0.5, 0.05, &mut rng).unwrap();
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            if planted_block_of(200, 2, u) == planted_block_of(200, 2, v) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Expected within ≈ 2 * C(100,2) * 0.5 = 4950; across ≈ 100*100*0.05 = 500.
+        assert!(within > 4 * across, "within={within}, across={across}");
+    }
+
+    #[test]
+    fn block_of_helper() {
+        assert_eq!(planted_block_of(20, 4, 0), 0);
+        assert_eq!(planted_block_of(20, 4, 4), 0);
+        assert_eq!(planted_block_of(20, 4, 5), 1);
+        assert_eq!(planted_block_of(20, 4, 19), 3);
+    }
+
+    #[test]
+    fn heterogeneous_block_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = stochastic_block_model(
+            &[10, 30],
+            &[vec![1.0, 0.0], vec![0.0, 0.0]],
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(g.num_vertices(), 40);
+        assert_eq!(g.num_edges(), 45); // only the small block is a clique
+    }
+}

@@ -1,0 +1,54 @@
+//! # bo3-graph
+//!
+//! Graph substrate for the reproduction of *“Best-of-Three Voting on Dense
+//! Graphs”* (Kang & Rivera, SPAA 2019).
+//!
+//! The crate provides everything the voting dynamics and the voting-DAG
+//! analysis need from a graph:
+//!
+//! * [`CsrGraph`] — flat, cache-friendly compressed-sparse-row storage with
+//!   `O(1)` degree lookup and `O(1)` indexed neighbour access, the two
+//!   operations that dominate the dynamics' running time;
+//! * [`builder::GraphBuilder`] — incremental construction from edge lists;
+//! * [`generators`] — the graph families used by the experiments, from the
+//!   complete graph of the prior literature to dense Erdős–Rényi, random
+//!   regular, SBM and core–periphery graphs in the paper's `d = n^α` regime,
+//!   plus sparse negative controls (cycles, grids, hypercubes, barbells);
+//! * [`sampling`] — uniform with-replacement neighbour sampling (the paper's
+//!   model) and alias tables for weighted distributions;
+//! * [`degree`], [`spectral`], [`traversal`], [`properties`] — the
+//!   diagnostics used to check that generated instances actually satisfy the
+//!   hypotheses of Theorem 1 (minimum degree `n^α`) or of the competing
+//!   expander conditions (`λ₂`);
+//! * [`io`] — plain-text edge-list input/output.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bo3_graph::generators;
+//! use bo3_graph::degree::DegreeStats;
+//!
+//! let g = generators::complete(100);
+//! let stats = DegreeStats::of(&g).unwrap();
+//! assert_eq!(stats.min, 99);
+//! assert!(stats.alpha().unwrap() > 0.95); // d = n^alpha with alpha ~ 1
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod sampling;
+pub mod spectral;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, VertexId};
+pub use error::{GraphError, Result};
+pub use sampling::NeighbourSampler;

@@ -1,0 +1,212 @@
+//! Exact binomial probabilities and the majority functions at the heart of
+//! the Best-of-k update rule.
+//!
+//! A vertex running Best-of-k samples `k` neighbours with replacement; if the
+//! probability that a single sample is blue is `p`, the number of blue
+//! samples is `Bin(k, p)` and the vertex turns blue exactly when a strict
+//! majority of the samples is blue (for odd `k`; for even `k` the tie rule
+//! matters and both conventions are provided).
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `n` used by
+/// the dynamics; saturates gracefully for large `n`).
+pub fn binomial_coefficient(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result *= (n - i) as f64;
+        result /= (i + 1) as f64;
+    }
+    result
+}
+
+/// Probability mass function of `Bin(n, p)` at `k`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if k > n {
+        return 0.0;
+    }
+    binomial_coefficient(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+/// `P(Bin(n, p) >= k)`.
+pub fn binomial_tail_geq(n: u64, k: u64, p: f64) -> f64 {
+    (k..=n).map(|j| binomial_pmf(n, j, p)).sum()
+}
+
+/// `P(Bin(n, p) <= k)`.
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|j| binomial_pmf(n, j, p)).sum()
+}
+
+/// Probability that a Best-of-3 vertex adopts blue when each sample is blue
+/// independently with probability `p`: `P(Bin(3,p) >= 2) = 3p² − 2p³`.
+///
+/// This is the map iterated by the paper's equation (1).
+pub fn best_of_three_blue(p: f64) -> f64 {
+    3.0 * p * p - 2.0 * p * p * p
+}
+
+/// Probability that a Best-of-k vertex (odd `k`) adopts blue:
+/// `P(Bin(k, p) ≥ (k+1)/2)`.
+pub fn best_of_k_blue_odd(k: u64, p: f64) -> f64 {
+    assert!(k % 2 == 1, "best_of_k_blue_odd requires odd k, got {k}");
+    binomial_tail_geq(k, k / 2 + 1, p)
+}
+
+/// Probability that a Best-of-2 vertex adopts blue when its current opinion
+/// is blue with probability `q_self` and ties are kept:
+/// blue ⇔ both samples blue, or a tie (one each) and the vertex was blue.
+pub fn best_of_two_blue_keep(p: f64, q_self: f64) -> f64 {
+    p * p + 2.0 * p * (1.0 - p) * q_self
+}
+
+/// Probability that a Best-of-2 vertex adopts blue when ties are broken by a
+/// fair coin.
+pub fn best_of_two_blue_random(p: f64) -> f64 {
+    p * p + 2.0 * p * (1.0 - p) * 0.5
+}
+
+/// Chernoff upper bound on `P(Bin(n, p) ≥ a)` for `a > np`, via the standard
+/// relative-entropy form `exp(−n·KL(a/n ‖ p))`.
+pub fn chernoff_upper_tail(n: u64, p: f64, a: f64) -> f64 {
+    let n_f = n as f64;
+    if a <= n_f * p {
+        return 1.0;
+    }
+    if a >= n_f {
+        return if p >= 1.0 { 1.0 } else { p.powi(n as i32) };
+    }
+    let x = a / n_f;
+    let kl = x * (x / p).ln() + (1.0 - x) * ((1.0 - x) / (1.0 - p)).ln();
+    (-n_f * kl).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial_coefficient(3, 0), 1.0);
+        assert_eq!(binomial_coefficient(3, 1), 3.0);
+        assert_eq!(binomial_coefficient(3, 2), 3.0);
+        assert_eq!(binomial_coefficient(3, 3), 1.0);
+        assert_eq!(binomial_coefficient(3, 4), 0.0);
+        assert_eq!(binomial_coefficient(10, 5), 252.0);
+        assert_eq!(binomial_coefficient(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let total: f64 = (0..=7).map(|k| binomial_pmf(7, k, p)).sum();
+            assert!(close(total, 1.0, 1e-12), "p = {p}, total = {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_handles_bad_input() {
+        assert!(binomial_pmf(3, 1, -0.1).is_nan());
+        assert!(binomial_pmf(3, 1, 1.1).is_nan());
+        assert_eq!(binomial_pmf(3, 5, 0.4), 0.0);
+    }
+
+    #[test]
+    fn tail_and_cdf_are_complementary() {
+        for k in 0..=6u64 {
+            let tail = binomial_tail_geq(6, k, 0.3);
+            let cdf = if k == 0 { 0.0 } else { binomial_cdf(6, k - 1, 0.3) };
+            assert!(close(tail + cdf, 1.0, 1e-12), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn best_of_three_matches_direct_formula() {
+        for &p in &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+            let direct = binomial_tail_geq(3, 2, p);
+            assert!(close(best_of_three_blue(p), direct, 1e-12), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn best_of_three_fixed_points() {
+        // The map 3p²−2p³ has fixed points 0, 1/2, 1.
+        assert!(close(best_of_three_blue(0.0), 0.0, 1e-15));
+        assert!(close(best_of_three_blue(0.5), 0.5, 1e-15));
+        assert!(close(best_of_three_blue(1.0), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn best_of_three_amplifies_minority_decay() {
+        // Below 1/2 the map strictly decreases the blue probability.
+        for &p in &[0.49, 0.4, 0.3, 0.2, 0.1, 0.01] {
+            assert!(best_of_three_blue(p) < p, "p = {p}");
+        }
+        // Above 1/2 it increases.
+        for &p in &[0.51, 0.6, 0.8, 0.99] {
+            assert!(best_of_three_blue(p) > p, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn best_of_k_odd_reduces_to_best_of_three() {
+        for &p in &[0.2, 0.5, 0.7] {
+            assert!(close(best_of_k_blue_odd(3, p), best_of_three_blue(p), 1e-12));
+        }
+    }
+
+    #[test]
+    fn best_of_k_larger_k_is_sharper() {
+        // For p < 1/2, larger odd k suppresses blue faster.
+        let p = 0.4;
+        let k3 = best_of_k_blue_odd(3, p);
+        let k5 = best_of_k_blue_odd(5, p);
+        let k9 = best_of_k_blue_odd(9, p);
+        assert!(k5 < k3);
+        assert!(k9 < k5);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd k")]
+    fn best_of_k_odd_rejects_even_k() {
+        best_of_k_blue_odd(4, 0.3);
+    }
+
+    #[test]
+    fn best_of_two_variants() {
+        // With q_self = 1 (vertex already blue) keeping ties is more blue-friendly
+        // than random tie-breaking; with q_self = 0 it is less.
+        let p = 0.3;
+        assert!(best_of_two_blue_keep(p, 1.0) > best_of_two_blue_random(p));
+        assert!(best_of_two_blue_keep(p, 0.0) < best_of_two_blue_random(p));
+        // Random tie-breaking for k=2 coincides with the voter model: p² + p(1−p) = p.
+        assert!(close(best_of_two_blue_random(p), p, 1e-12));
+    }
+
+    #[test]
+    fn chernoff_bound_dominates_exact_tail() {
+        let n = 50u64;
+        let p = 0.3;
+        for a in [20.0, 25.0, 30.0, 40.0] {
+            let exact = binomial_tail_geq(n, a as u64, p);
+            let bound = chernoff_upper_tail(n, p, a);
+            assert!(bound + 1e-12 >= exact, "a = {a}: bound {bound} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn chernoff_bound_edge_cases() {
+        assert_eq!(chernoff_upper_tail(10, 0.5, 1.0), 1.0); // below the mean
+        let at_n = chernoff_upper_tail(10, 0.5, 10.0);
+        assert!(close(at_n, 0.5f64.powi(10), 1e-15));
+    }
+}

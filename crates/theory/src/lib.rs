@@ -1,0 +1,38 @@
+//! # bo3-theory
+//!
+//! The numerical side of the analysis in *“Best-of-Three Voting on Dense
+//! Graphs”* (Kang & Rivera, SPAA 2019): every recursion, phase length and
+//! tail bound that appears in the proof of Theorem 1, implemented as plain
+//! functions over `f64` so experiments can print a *paper* column next to the
+//! simulator's *measured* column.
+//!
+//! * [`binomial`] — exact binomial probabilities and the Best-of-k majority
+//!   maps (`3p² − 2p³` and friends);
+//! * [`recursion`] — equations (1), (2) and (4): the ideal ternary-tree
+//!   recursion, the Sprinkling upper bound with its collision term
+//!   `ε_t = 3^{T−t+1}/d`, and the bias lower bound;
+//! * [`phases`] — the three-phase decomposition of Lemma 4 with its explicit
+//!   lengths `T₃ = O(log δ⁻¹)`, `T₂ = O(log log d)`, plus the upper-level
+//!   height `h = a log log d`;
+//! * [`bounds`] — Lemmas 5–7: blue-leaf thresholds for ternary trees,
+//!   collision-level tail bounds, and the resulting `o(1/n)` bound on a blue
+//!   root;
+//! * [`prediction`] — everything composed into a per-parameter-point
+//!   [`prediction::Prediction`] consumed by the benchmark harness.
+//!
+//! ```
+//! use bo3_theory::prediction::predict;
+//!
+//! let p = predict(1e6, 0.8, 0.05, 2.0);
+//! assert!(p.in_theorem_regime);
+//! assert!(p.predicted_rounds.unwrap() < 60);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod binomial;
+pub mod bounds;
+pub mod phases;
+pub mod prediction;
+pub mod recursion;

@@ -1,0 +1,122 @@
+//! Scenario: competing opinions in a heavy-tailed social network.
+//!
+//! A Chung–Lu power-law graph stands in for a social network.  A minority
+//! opinion ("blue") is seeded two ways — independently at random (the
+//! paper's model) and adversarially on the highest-degree accounts
+//! (influencers) — and the example shows how Best-of-Three amplifies the
+//! majority in the first case while the voter model drifts, and how far the
+//! influencer placement can push against the majority.
+//!
+//! ```text
+//! cargo run --release -p bo3-examples --bin social_network_rumour -- --n 30000 --delta 0.05
+//! ```
+
+use bo3_core::prelude::*;
+use bo3_examples::{banner, rounds_with_spread, Args};
+
+fn run(
+    name: &str,
+    graph_spec: GraphSpec,
+    protocol: ProtocolSpec,
+    initial: InitialCondition,
+    replicas: usize,
+    seed: u64,
+) -> ExperimentResult {
+    let experiment = Experiment {
+        name: name.to_string(),
+        graph: graph_spec,
+        protocol,
+        initial,
+        schedule: Schedule::Synchronous,
+        stopping: StoppingCondition::consensus_within(50_000),
+        replicas,
+        seed,
+        threads: 0,
+    };
+    experiment.run().expect("experiment failed")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_or("n", 30_000usize);
+    let delta = args.get_or("delta", 0.05f64);
+    let replicas = args.get_or("replicas", 8usize);
+    let seed = args.get_or("seed", 2024u64);
+
+    let graph = GraphSpec::ChungLuPowerLaw {
+        n,
+        exponent: 2.5,
+        min_weight: 20.0,
+        max_weight: (n as f64).sqrt(),
+    };
+
+    banner("Rumour vs. correction in a power-law social network");
+    println!(
+        "network: Chung–Lu power law, n = {n}, exponent 2.5, expected degrees in [20, {:.0}]",
+        (n as f64).sqrt()
+    );
+    println!("the minority ('rumour', blue) starts with probability 1/2 − {delta}");
+
+    // The paper's setting: i.i.d. minority, Best-of-Three vs. voter model.
+    let bo3 = run(
+        "social/bo3-iid",
+        graph.clone(),
+        ProtocolSpec::BestOfThree,
+        InitialCondition::BernoulliWithBias { delta },
+        replicas,
+        seed,
+    );
+    let voter = run(
+        "social/voter-iid",
+        graph.clone(),
+        ProtocolSpec::Voter,
+        InitialCondition::BernoulliWithBias { delta },
+        2, // the voter model is orders of magnitude slower; keep the budget small
+        seed,
+    );
+
+    println!();
+    println!(
+        "best-of-3 : majority (red) won {:.0}% of replicas, {}",
+        bo3.red_win_rate().unwrap_or(0.0) * 100.0,
+        rounds_with_spread(bo3.mean_rounds(), bo3.report.rounds_to_consensus.as_ref().map(|s| s.p90))
+    );
+    println!(
+        "voter     : majority (red) won {:.0}% of replicas, {}",
+        voter.red_win_rate().unwrap_or(0.0) * 100.0,
+        rounds_with_spread(voter.mean_rounds(), voter.report.rounds_to_consensus.as_ref().map(|s| s.p90))
+    );
+
+    // Adversarial seeding: the same number of blue vertices, but placed on the
+    // highest-degree accounts.
+    let blue_budget = ((0.5 - delta) * n as f64).round() as usize;
+    let influencers = run(
+        "social/bo3-influencers",
+        graph.clone(),
+        ProtocolSpec::BestOfThree,
+        InitialCondition::HighestDegreeBlue { blue: blue_budget },
+        replicas,
+        seed + 1,
+    );
+    println!();
+    println!(
+        "adversarial seeding ({} highest-degree accounts blue): red won {:.0}% of replicas, {}",
+        blue_budget,
+        influencers.red_win_rate().unwrap_or(0.0) * 100.0,
+        rounds_with_spread(
+            influencers.mean_rounds(),
+            influencers.report.rounds_to_consensus.as_ref().map(|s| s.p90)
+        )
+    );
+    println!(
+        "(the paper's theorem assumes i.i.d. seeding; degree-targeted placement is outside it, \
+         which is why the majority's advantage can shrink here)"
+    );
+
+    println!();
+    let table = results_table(
+        "Social-network scenario",
+        &[bo3, voter, influencers],
+    );
+    println!("{}", table.to_pretty_string());
+}

@@ -1,0 +1,103 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples keep their command-line surface tiny on purpose (a couple of
+//! `--key value` overrides each); this module provides the small argument
+//! parser and a couple of printing helpers they share so each example file
+//! stays focused on the scenario it demonstrates.
+
+use std::collections::HashMap;
+
+/// A minimal `--key value` argument parser.
+///
+/// Unrecognised keys are collected verbatim so examples can report them;
+/// flags without values are stored with an empty string.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (used by tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                values.insert(key.to_string(), value);
+            }
+        }
+        Args { values }
+    }
+
+    /// Returns the value of `key` parsed as `T`, or `default` when absent or
+    /// unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse::<T>().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the flag was passed at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// Prints a section banner so multi-part example output is easy to scan.
+pub fn banner(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len() + 8));
+    println!("=== {title} ===");
+    println!("{}", "=".repeat(title.len() + 8));
+}
+
+/// Formats a number of rounds with its per-replica spread.
+pub fn rounds_with_spread(mean: Option<f64>, p90: Option<f64>) -> String {
+    match (mean, p90) {
+        (Some(m), Some(p)) => format!("{m:.1} rounds (p90 {p:.1})"),
+        (Some(m), None) => format!("{m:.1} rounds"),
+        _ => "did not converge".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_pairs_and_flags() {
+        let args = Args::from_iter(
+            ["--n", "5000", "--delta", "0.05", "--verbose"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_or("n", 0usize), 5000);
+        assert!((args.get_or("delta", 0.0f64) - 0.05).abs() < 1e-12);
+        assert!(args.has("verbose"));
+        assert!(!args.has("missing"));
+        assert_eq!(args.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn unparsable_values_fall_back_to_defaults() {
+        let args = Args::from_iter(["--n", "abc"].iter().map(|s| s.to_string()));
+        assert_eq!(args.get_or("n", 3usize), 3);
+    }
+
+    #[test]
+    fn rounds_formatting() {
+        assert!(rounds_with_spread(Some(7.25), Some(9.0)).contains("7.2"));
+        assert_eq!(rounds_with_spread(None, None), "did not converge");
+        assert_eq!(rounds_with_spread(Some(3.0), None), "3.0 rounds");
+    }
+}

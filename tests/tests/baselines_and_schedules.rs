@@ -1,0 +1,128 @@
+//! Cross-crate behavioural comparisons: protocol baselines and the
+//! synchronous/asynchronous and sequential/parallel ablations.
+
+use bo3_core::prelude::*;
+use bo3_integration::{dense_scenario, mean_consensus_time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn voter_model_is_an_order_of_magnitude_slower() {
+    let (graph, delta) = dense_scenario(600, 1);
+    let bo3 = mean_consensus_time(&graph, ProtocolSpec::BestOfThree, delta, 3, 1).unwrap();
+    let voter = mean_consensus_time(&graph, ProtocolSpec::Voter, delta, 2, 1).unwrap();
+    assert!(voter > 10.0 * bo3, "voter {voter} vs best-of-3 {bo3}");
+}
+
+#[test]
+fn best_of_two_and_three_are_comparable() {
+    let (graph, delta) = dense_scenario(2_000, 2);
+    let bo2 = mean_consensus_time(
+        &graph,
+        ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn },
+        delta,
+        4,
+        2,
+    )
+    .unwrap();
+    let bo3 = mean_consensus_time(&graph, ProtocolSpec::BestOfThree, delta, 4, 2).unwrap();
+    assert!((bo2 - bo3).abs() <= 4.0, "bo2 {bo2} vs bo3 {bo3}");
+}
+
+#[test]
+fn local_majority_is_the_speed_limit() {
+    let (graph, delta) = dense_scenario(2_000, 3);
+    let majority = mean_consensus_time(
+        &graph,
+        ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn },
+        delta,
+        4,
+        3,
+    )
+    .unwrap();
+    let bo3 = mean_consensus_time(&graph, ProtocolSpec::BestOfThree, delta, 4, 3).unwrap();
+    assert!(majority <= bo3 + 0.5, "majority {majority} vs bo3 {bo3}");
+    assert!(majority <= 3.0);
+}
+
+#[test]
+fn asynchronous_schedule_still_converges_to_red() {
+    let (graph, delta) = dense_scenario(1_200, 4);
+    let mc = MonteCarlo {
+        protocol: ProtocolSpec::BestOfThree,
+        initial: InitialCondition::BernoulliWithBias { delta },
+        schedule: Schedule::AsynchronousRandomOrder,
+        stopping: StoppingCondition::consensus_within(10_000),
+        replicas: 4,
+        master_seed: 4,
+        threads: 0,
+    };
+    let report = mc.run(&graph).unwrap();
+    assert!((report.consensus_rate - 1.0).abs() < 1e-12);
+    let red = report.red_win.unwrap();
+    assert_eq!(red.successes, red.trials);
+}
+
+#[test]
+fn parallel_stepper_agrees_with_itself_across_thread_counts() {
+    let (graph, delta) = dense_scenario(3_000, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let init = InitialCondition::BernoulliWithBias { delta }
+        .sample(&graph, &mut rng)
+        .unwrap();
+    let run = |threads: usize| {
+        ParallelSimulator::new(&graph, threads)
+            .unwrap()
+            .with_trace(true)
+            .run(&BestOfThree::new(), init.clone(), 777)
+            .unwrap()
+    };
+    let one = run(1);
+    let many = run(6);
+    assert_eq!(one, many);
+    assert!(one.red_won());
+}
+
+#[test]
+fn sampling_without_replacement_changes_little_on_dense_graphs() {
+    // Ablation: the paper samples *with* replacement; on dense graphs the
+    // difference is negligible. We approximate "without replacement" by the
+    // local-majority-of-3-distinct-samples protocol implemented via
+    // NeighbourSampler::sample_without_replacement and compare one-round
+    // statistics on the complete graph.
+    let graph = GraphSpec::Complete { n: 2_000 }
+        .generate(&mut StdRng::seed_from_u64(7))
+        .unwrap();
+    let sampler = NeighbourSampler::new(&graph).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let blue_share = 0.4;
+    let blue_count = (2_000.0 * blue_share) as usize;
+    let opinions: Vec<Opinion> = (0..2_000)
+        .map(|v| if v < blue_count { Opinion::Blue } else { Opinion::Red })
+        .collect();
+    let trials = 20_000;
+    let mut with_repl_blue = 0usize;
+    let mut without_repl_blue = 0usize;
+    use rand::Rng;
+    for _ in 0..trials {
+        let v = 1_999; // a red vertex
+        let picks: [usize; 3] = {
+            let mut out = [0usize; 3];
+            for slot in &mut out {
+                let i = rng.gen_range(0..sampler.graph().degree(v));
+                *slot = sampler.graph().neighbour_at(v, i);
+            }
+            out
+        };
+        if picks.iter().filter(|&&w| opinions[w].is_blue()).count() >= 2 {
+            with_repl_blue += 1;
+        }
+        let distinct = sampler.sample_without_replacement(v, 3, &mut rng);
+        if distinct.iter().filter(|&&w| opinions[w].is_blue()).count() >= 2 {
+            without_repl_blue += 1;
+        }
+    }
+    let a = with_repl_blue as f64 / trials as f64;
+    let b = without_repl_blue as f64 / trials as f64;
+    assert!((a - b).abs() < 0.02, "with {a} vs without {b}");
+}

@@ -1,0 +1,100 @@
+//! Cross-crate checks of the time-reversal machinery: forward dynamics vs.
+//! voting-DAG colouring, sprinkling coupling on generated graphs, and the
+//! COBRA-walk correspondence.
+
+use bo3_core::prelude::*;
+use bo3_dag::cobra::cobra_walk;
+use bo3_dag::colouring::colour_dag;
+use bo3_dag::sprinkling::sprinkle;
+use bo3_dag::voting_dag::VotingDag;
+use bo3_dynamics::opinion::Opinion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn duality_holds_on_generated_dense_and_sparse_graphs() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cases = vec![
+        GraphSpec::ErdosRenyiGnp { n: 50, p: 0.3 },
+        GraphSpec::RandomRegular { n: 60, d: 6 },
+        GraphSpec::Wheel { n: 20 },
+    ];
+    for spec in cases {
+        let graph = spec.generate(&mut rng).unwrap();
+        let check = DualityCheck { vertex: 1, rounds: 3, p_blue: 0.4, trials: 2_500, seed: 11 };
+        let report = check.run(&graph).unwrap();
+        assert!(
+            report.consistent(),
+            "{}: difference {} vs noise {}",
+            spec.label(),
+            report.difference,
+            report.noise_scale
+        );
+    }
+}
+
+#[test]
+fn sprinkling_coupling_holds_on_every_generated_family() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let specs = vec![
+        GraphSpec::Cycle { n: 9 },
+        GraphSpec::Complete { n: 7 },
+        GraphSpec::Hypercube { dim: 3 },
+        GraphSpec::Barbell { clique: 4, bridge: 1 },
+    ];
+    for spec in specs {
+        let graph = spec.generate(&mut rng).unwrap();
+        for _ in 0..10 {
+            let dag = VotingDag::sample(&graph, 0, 4, &mut rng).unwrap();
+            let sprinkled = sprinkle(&dag, 4).unwrap();
+            assert!(sprinkled.is_collision_free(), "{}", spec.label());
+            let leaves: Vec<Opinion> = (0..dag.num_leaves())
+                .map(|_| if rng.gen::<f64>() < 0.45 { Opinion::Blue } else { Opinion::Red })
+                .collect();
+            let base = colour_dag(&dag, &leaves).unwrap();
+            let prime = sprinkled.colour(&leaves).unwrap();
+            assert!(
+                base.root_colour().as_value() <= prime.root_colour().as_value(),
+                "coupling violated on {}",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn dag_level_sizes_match_cobra_occupancy_in_expectation() {
+    let graph = GraphSpec::RandomRegular { n: 400, d: 20 }
+        .generate(&mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let steps = 3usize;
+    let trials = 250usize;
+    let mut dag_mean = 0.0;
+    let mut cobra_mean = 0.0;
+    for _ in 0..trials {
+        let dag = VotingDag::sample(&graph, 5, steps, &mut rng).unwrap();
+        dag_mean += dag.num_leaves() as f64;
+        let walk = cobra_walk(&graph, 5, 3, steps, false, &mut rng).unwrap();
+        cobra_mean += *walk.occupancy.last().unwrap() as f64;
+    }
+    dag_mean /= trials as f64;
+    cobra_mean /= trials as f64;
+    assert!(
+        (dag_mean - cobra_mean).abs() < 0.15 * dag_mean,
+        "dag {dag_mean} vs cobra {cobra_mean}"
+    );
+}
+
+#[test]
+fn dag_estimate_tracks_the_forward_minority_extinction() {
+    // After enough rounds on a dense graph the probability a fixed vertex is
+    // blue should be essentially zero under both views.
+    let graph = GraphSpec::Complete { n: 600 }
+        .generate(&mut StdRng::seed_from_u64(4))
+        .unwrap();
+    let check = DualityCheck { vertex: 0, rounds: 8, p_blue: 0.35, trials: 400, seed: 21 };
+    let report = check.run(&graph).unwrap();
+    assert!(report.forward_estimate < 0.02, "forward {}", report.forward_estimate);
+    assert!(report.dag_estimate < 0.02, "dag {}", report.dag_estimate);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) on the invariants the whole stack relies
+//! on: CSR validity of every generator, configuration bookkeeping, majority
+//! monotonicity, the sprinkling coupling, and recursion monotonicity.
+
+use bo3_core::prelude::*;
+use bo3_dag::colouring::colour_dag;
+use bo3_dag::sprinkling::sprinkle;
+use bo3_dag::voting_dag::VotingDag;
+use bo3_theory::binomial::{best_of_k_blue_odd, best_of_three_blue};
+use bo3_theory::recursion::{sprinkling_step, ideal_step};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy over small random graph specifications that always produce a
+/// connected graph with no isolated vertices.
+fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
+    prop_oneof![
+        (3usize..40).prop_map(|n| GraphSpec::Complete { n }),
+        (3usize..60).prop_map(|n| GraphSpec::Cycle { n }),
+        (4usize..40).prop_map(|n| GraphSpec::Wheel { n }),
+        (2usize..12, 2usize..12).prop_map(|(a, b)| GraphSpec::CompleteBipartite { a, b }),
+        (1usize..7).prop_map(|dim| GraphSpec::Hypercube { dim }),
+        (3usize..8, 3usize..8).prop_map(|(r, c)| GraphSpec::Torus2d { rows: r, cols: c }),
+        (3usize..10, 0usize..4).prop_map(|(clique, bridge)| GraphSpec::Barbell { clique, bridge }),
+        (2usize..20, 1usize..30, 1usize..3)
+            .prop_map(|(core, periphery, attach)| GraphSpec::CorePeriphery {
+                core,
+                periphery,
+                attach: attach.min(core),
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_satisfy_csr_invariants(spec in graph_spec_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = spec.generate(&mut rng).unwrap();
+        // Round-tripping through the validating constructor re-checks
+        // sortedness, symmetry, self-loop freedom and offset consistency.
+        let (n, offsets, neighbours) = g.clone().into_csr();
+        let rebuilt = CsrGraph::from_csr(n, offsets, neighbours).unwrap();
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn configuration_counts_stay_consistent(ops in proptest::collection::vec((0usize..50, any::<bool>()), 1..200)) {
+        let mut cfg = Configuration::all_red(50);
+        for (v, blue) in ops {
+            cfg.set(v, if blue { Opinion::Blue } else { Opinion::Red });
+            let recount = cfg.as_slice().iter().filter(|o| o.is_blue()).count();
+            prop_assert_eq!(recount, cfg.blue_count());
+            prop_assert_eq!(cfg.blue_count() + cfg.red_count(), 50);
+        }
+    }
+
+    #[test]
+    fn majority_maps_are_monotone_and_bounded(p in 0.0f64..1.0, q in 0.0f64..1.0) {
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        // Monotonicity in the input probability.
+        prop_assert!(best_of_three_blue(lo) <= best_of_three_blue(hi) + 1e-12);
+        prop_assert!(best_of_k_blue_odd(5, lo) <= best_of_k_blue_odd(5, hi) + 1e-12);
+        // Range stays inside [0, 1].
+        for x in [lo, hi] {
+            let y = best_of_three_blue(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sprinkling_recursion_dominates_ideal_recursion(p in 0.0f64..0.5, eps in 0.0f64..0.2) {
+        prop_assert!(sprinkling_step(p, eps) + 1e-12 >= ideal_step(p));
+        // And it is monotone in eps.
+        prop_assert!(sprinkling_step(p, eps) <= sprinkling_step(p, eps + 0.05) + 1e-12);
+    }
+
+    #[test]
+    fn initial_condition_exact_count_is_exact(n in 1usize..200, blue_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let n = n.max(2);
+        let blue = ((n as f64) * blue_frac) as usize;
+        let g = bo3_graph::generators::complete(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = InitialCondition::ExactCount { blue }.sample(&g, &mut rng).unwrap();
+        prop_assert_eq!(cfg.blue_count(), blue);
+        prop_assert_eq!(cfg.len(), n);
+    }
+
+    #[test]
+    fn sprinkled_dags_are_collision_free_and_dominate(
+        n in 3usize..12,
+        height in 1usize..5,
+        seed in any::<u64>(),
+        p_blue in 0.0f64..1.0,
+    ) {
+        let g = bo3_graph::generators::complete(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = VotingDag::sample(&g, 0, height, &mut rng).unwrap();
+        let sprinkled = sprinkle(&dag, height).unwrap();
+        prop_assert!(sprinkled.is_collision_free());
+        let leaves: Vec<Opinion> = (0..dag.num_leaves())
+            .map(|i| {
+                // Deterministic pseudo-random colouring derived from the seed.
+                let x = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407)) as f64
+                    / u64::MAX as f64;
+                if x < p_blue { Opinion::Blue } else { Opinion::Red }
+            })
+            .collect();
+        let base = colour_dag(&dag, &leaves).unwrap();
+        let prime = sprinkled.colour(&leaves).unwrap();
+        for t in 0..=dag.height() {
+            for i in 0..dag.level(t).len() {
+                prop_assert!(base.colours[t][i].as_value() <= prime.colours[t][i].as_value());
+            }
+        }
+    }
+
+    #[test]
+    fn run_results_are_internally_consistent(n in 50usize..300, delta_milli in 10u32..300, seed in any::<u64>()) {
+        let delta = delta_milli as f64 / 1000.0;
+        let g = bo3_graph::generators::complete(n);
+        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = InitialCondition::BernoulliWithBias { delta: delta.min(0.49) }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let run = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
+        let trace = run.trace.as_ref().unwrap();
+        prop_assert_eq!(trace.len(), run.rounds + 1);
+        // The final trace record agrees with the reported final blue fraction.
+        let last = trace.last().unwrap();
+        prop_assert!((last.blue_fraction - run.final_blue_fraction).abs() < 1e-12);
+        // Consensus implies an all-one-colour final fraction.
+        if let Some(winner) = run.winner {
+            match winner {
+                Opinion::Red => prop_assert_eq!(run.final_blue_fraction, 0.0),
+                Opinion::Blue => prop_assert_eq!(run.final_blue_fraction, 1.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate checks that the theory crate's recursions and phase plans
+//! describe what the simulator actually does.
+
+use bo3_core::prelude::*;
+use bo3_integration::traced_run;
+use bo3_theory::phases::{phase_one_bias_target, phase_plan};
+use bo3_theory::recursion::{ideal_steps_to_reach, ideal_trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn equation_one_tracks_the_complete_graph_trajectory() {
+    let n = 10_000usize;
+    let delta = 0.1;
+    let graph = GraphSpec::Complete { n }
+        .generate(&mut StdRng::seed_from_u64(0))
+        .unwrap();
+    let run = traced_run(&graph, delta, 1);
+    let measured = run.trace.as_ref().unwrap().blue_fractions();
+    let ideal = ideal_trajectory(0.5 - delta, measured.len().saturating_sub(1));
+    for (t, (&m, &p)) in measured.iter().zip(ideal.iter()).enumerate() {
+        if p < 0.02 {
+            break; // finite-size noise dominates once the fraction is tiny
+        }
+        assert!(
+            (m - p).abs() < 0.025,
+            "round {t}: measured {m}, recursion {p}"
+        );
+    }
+}
+
+#[test]
+fn ideal_recursion_steps_lower_bound_the_measured_consensus_time() {
+    // The recursion ignores finite-size effects and collisions, so the number
+    // of steps it needs to push the blue probability below 1/n is a lower
+    // bound (up to ±1 round of noise) on the simulated consensus time.
+    let n = 5_000usize;
+    let delta = 0.08;
+    let graph = GraphSpec::Complete { n }
+        .generate(&mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let run = traced_run(&graph, delta, 3);
+    assert!(run.red_won());
+    let ideal = ideal_steps_to_reach(0.5 - delta, 1.0 / n as f64, 10_000).unwrap();
+    assert!(
+        run.rounds + 1 >= ideal,
+        "measured {} rounds vs ideal lower bound {}",
+        run.rounds,
+        ideal
+    );
+}
+
+#[test]
+fn measured_phase_lengths_fit_inside_the_paper_plan() {
+    let n = 6_000usize;
+    let delta = 0.03;
+    let graph = GraphSpec::Complete { n }
+        .generate(&mut StdRng::seed_from_u64(4))
+        .unwrap();
+    let run = traced_run(&graph, delta, 5);
+    let observed = segment_trace(run.trace.as_ref().unwrap(), n);
+    let plan = phase_plan((n - 1) as f64, delta, 2.0).unwrap();
+    assert!(observed.bias_amplification_rounds <= plan.t3_bias_amplification + 2);
+    assert!(observed.total_rounds <= plan.total_levels() + 4);
+    assert!(observed.measured_bias_growth_rate.unwrap() >= 1.25);
+}
+
+#[test]
+fn bias_target_is_where_decay_takes_over() {
+    // Once the measured bias passes 1/(2√3) the blue fraction should collapse
+    // within a few rounds on a dense graph.
+    let n = 8_000usize;
+    let graph = GraphSpec::Complete { n }
+        .generate(&mut StdRng::seed_from_u64(6))
+        .unwrap();
+    let run = traced_run(&graph, 0.05, 7);
+    let trace = run.trace.as_ref().unwrap();
+    let biases = trace.red_biases();
+    let fractions = trace.blue_fractions();
+    if let Some(handover) = biases.iter().position(|&d| d >= phase_one_bias_target()) {
+        let remaining = fractions.len() - handover;
+        assert!(remaining <= 8, "decay took {remaining} rounds after hand-over");
+    } else {
+        panic!("the trajectory never reached the hand-over bias");
+    }
+}
+
+#[test]
+fn prediction_regime_classification_matches_graph_reality() {
+    let mut rng = StdRng::seed_from_u64(8);
+    // Dense instance: inside the regime.
+    let dense = GraphSpec::DenseForAlpha { n: 4_000, alpha: 0.8 }.generate(&mut rng).unwrap();
+    let stats = DegreeStats::of(&dense).unwrap();
+    let p = predict(4_000.0, stats.alpha().unwrap(), 0.05, 2.0);
+    assert!(p.in_theorem_regime);
+    // Constant-degree instance: outside.
+    let torus = GraphSpec::Torus2d { rows: 60, cols: 60 }.generate(&mut rng).unwrap();
+    let stats = DegreeStats::of(&torus).unwrap();
+    let p = predict(3_600.0, stats.alpha().unwrap(), 0.05, 2.0);
+    assert!(!p.in_theorem_regime);
+}
