@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
             let protocol = if k == 3 {
                 ProtocolSpec::BestOfThree
             } else {
-                ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn }
+                ProtocolSpec::BestOfK {
+                    k,
+                    tie_rule: TieRule::KeepOwn,
+                }
             };
             let exp = Experiment {
                 name: format!("bench/k={k}"),

@@ -10,17 +10,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_consensus_scaling");
     group.sample_size(10);
     for &n in &[2_000usize, 8_000] {
-        group.bench_with_input(BenchmarkId::new("best_of_three_consensus", n), &n, |b, &n| {
-            let exp = Experiment::theorem_one(
-                format!("bench/n={n}"),
-                GraphSpec::DenseForAlpha { n, alpha: 0.7 },
-                0.05,
-                1,
-                0xB1,
-            );
-            let graph = exp.build_graph().expect("graph");
-            b.iter(|| exp.run_on(&graph).expect("run"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("best_of_three_consensus", n),
+            &n,
+            |b, &n| {
+                let exp = Experiment::theorem_one(
+                    format!("bench/n={n}"),
+                    GraphSpec::DenseForAlpha { n, alpha: 0.7 },
+                    0.05,
+                    1,
+                    0xB1,
+                );
+                let graph = exp.build_graph().expect("graph");
+                b.iter(|| exp.run_on(&graph).expect("run"));
+            },
+        );
     }
     group.finish();
 }

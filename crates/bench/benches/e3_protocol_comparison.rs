@@ -11,9 +11,12 @@ use bo3_core::prelude::*;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_protocol_round");
     group.sample_size(20);
-    let graph = GraphSpec::DenseForAlpha { n: 10_000, alpha: 0.75 }
-        .generate(&mut StdRng::seed_from_u64(0xB3))
-        .expect("graph");
+    let graph = GraphSpec::DenseForAlpha {
+        n: 10_000,
+        alpha: 0.75,
+    }
+    .generate(&mut StdRng::seed_from_u64(0xB3))
+    .expect("graph");
     let sim = Simulator::new(&graph).expect("simulator");
     let mut rng = StdRng::seed_from_u64(0xB3);
     let init = InitialCondition::BernoulliWithBias { delta: 0.1 }

@@ -11,7 +11,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let graph = generators::complete(40);
     group.bench_function("duality_check_500_trials", |b| {
-        let check = DualityCheck { vertex: 0, rounds: 3, p_blue: 0.4, trials: 500, seed: 0xB9 };
+        let check = DualityCheck {
+            vertex: 0,
+            rounds: 3,
+            p_blue: 0.4,
+            trials: 500,
+            seed: 0xB9,
+        };
         b.iter(|| check.run(&graph).expect("duality"));
     });
     group.finish();

@@ -43,7 +43,10 @@ pub fn run(scale: Scale) -> Table {
             .expect("E1 experiment failed")
         })
         .collect();
-    results_table("E1: consensus time vs n (alpha = 0.7, delta = 0.05)", &results)
+    results_table(
+        "E1: consensus time vs n (alpha = 0.7, delta = 0.05)",
+        &results,
+    )
 }
 
 /// The headline check used by tests: consensus time grows sub-logarithmically

@@ -39,8 +39,16 @@ pub fn run(scale: Scale) -> Table {
             protocol,
             initial: InitialCondition::BernoulliWithBias { delta },
             schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(if is_voter { 3_000_000 } else { 20_000 }),
-            replicas: if is_voter { 2.min(replicas(scale)) } else { replicas(scale) },
+            stopping: StoppingCondition::consensus_within(if is_voter {
+                3_000_000
+            } else {
+                20_000
+            }),
+            replicas: if is_voter {
+                2.min(replicas(scale))
+            } else {
+                replicas(scale)
+            },
             seed: 0xE3,
             threads: 0,
         };

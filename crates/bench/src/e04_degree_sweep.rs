@@ -60,7 +60,10 @@ pub fn run(scale: Scale) -> Table {
             .expect("E4 experiment failed")
         })
         .collect();
-    results_table("E4: degree sweep d = n^alpha on random regular graphs", &results)
+    results_table(
+        "E4: degree sweep d = n^alpha on random regular graphs",
+        &results,
+    )
 }
 
 /// Check: in the dense part of the sweep red sweeps and consensus is fast;

@@ -33,7 +33,14 @@ fn replicas(scale: Scale) -> usize {
     }
 }
 
-fn win_rate(protocol: ProtocolSpec, n: usize, blue: usize, replicas: usize, cap: usize, seed: u64) -> f64 {
+fn win_rate(
+    protocol: ProtocolSpec,
+    n: usize,
+    blue: usize,
+    replicas: usize,
+    cap: usize,
+    seed: u64,
+) -> f64 {
     let experiment = Experiment {
         name: "E5".into(),
         graph: GraphSpec::Complete { n },
@@ -67,8 +74,22 @@ pub fn run(scale: Scale) -> Table {
     );
     for share in blue_shares(scale) {
         let blue = (share * n as f64).round() as usize;
-        let voter = win_rate(ProtocolSpec::Voter, n, blue, replicas(scale), 3_000_000, 0xE5);
-        let bo3 = win_rate(ProtocolSpec::BestOfThree, n, blue, replicas(scale), 50_000, 0xE5 + 1);
+        let voter = win_rate(
+            ProtocolSpec::Voter,
+            n,
+            blue,
+            replicas(scale),
+            3_000_000,
+            0xE5,
+        );
+        let bo3 = win_rate(
+            ProtocolSpec::BestOfThree,
+            n,
+            blue,
+            replicas(scale),
+            50_000,
+            0xE5 + 1,
+        );
         table.push_row(vec![
             fmt_f64(share),
             fmt_f64(voter),
@@ -85,8 +106,22 @@ pub fn verify(scale: Scale) -> bool {
     let n = graph_size(scale);
     for share in blue_shares(scale) {
         let blue = (share * n as f64).round() as usize;
-        let voter = win_rate(ProtocolSpec::Voter, n, blue, replicas(scale), 3_000_000, 0xE5);
-        let bo3 = win_rate(ProtocolSpec::BestOfThree, n, blue, replicas(scale), 50_000, 0xE5 + 1);
+        let voter = win_rate(
+            ProtocolSpec::Voter,
+            n,
+            blue,
+            replicas(scale),
+            3_000_000,
+            0xE5,
+        );
+        let bo3 = win_rate(
+            ProtocolSpec::BestOfThree,
+            n,
+            blue,
+            replicas(scale),
+            50_000,
+            0xE5 + 1,
+        );
         let share_law = 1.0 - share;
         // Monte-Carlo tolerance: generous at Quick scale.
         if (voter - share_law).abs() > 0.2 {

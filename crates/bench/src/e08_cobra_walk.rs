@@ -32,18 +32,21 @@ pub fn graphs(scale: Scale) -> Vec<(String, CsrGraph)> {
                 "random-regular(n=512,d=8)".into(),
                 generators::random_regular(512, 8, &mut rng).expect("graph"),
             ),
-            ("hypercube(dim=9)".into(), generators::hypercube(9).expect("graph")),
+            (
+                "hypercube(dim=9)".into(),
+                generators::hypercube(9).expect("graph"),
+            ),
         ],
         Scale::Paper => vec![
             (
                 "random-regular(n=16384,d=16)".into(),
                 generators::random_regular(16_384, 16, &mut rng).expect("graph"),
             ),
-            ("hypercube(dim=14)".into(), generators::hypercube(14).expect("graph")),
             (
-                "complete(n=4096)".into(),
-                generators::complete(4096),
+                "hypercube(dim=14)".into(),
+                generators::hypercube(14).expect("graph"),
             ),
+            ("complete(n=4096)".into(), generators::complete(4096)),
         ],
     }
 }
@@ -52,7 +55,14 @@ pub fn graphs(scale: Scale) -> Vec<(String, CsrGraph)> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "E8: COBRA walk cover times (k = 3 vs single random walk)",
-        &["graph", "n", "k3_mean_cover", "k1_mean_cover", "k1_covered_fraction", "log2(n)"],
+        &[
+            "graph",
+            "n",
+            "k3_mean_cover",
+            "k1_mean_cover",
+            "k1_covered_fraction",
+            "log2(n)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(0xE8 + 1);
     for (label, graph) in graphs(scale) {
@@ -82,7 +92,9 @@ pub fn verify(scale: Scale) -> bool {
     for (_, graph) in graphs(scale) {
         let n = graph.num_vertices();
         let k3 = estimate_cover_time(&graph, 0, 3, 50_000, trials(scale), &mut rng).expect("cobra");
-        let Some(c3) = k3.mean_cover_time else { return false };
+        let Some(c3) = k3.mean_cover_time else {
+            return false;
+        };
         if c3 > 12.0 * (n as f64).log2() {
             return false;
         }

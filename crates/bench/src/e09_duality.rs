@@ -21,8 +21,18 @@ fn trials(scale: Scale) -> usize {
 /// The `(label, graph spec, rounds, p_blue)` cases checked.
 pub fn cases(scale: Scale) -> Vec<(String, GraphSpec, usize, f64)> {
     let base = vec![
-        ("complete(n=40)".to_string(), GraphSpec::Complete { n: 40 }, 3, 0.4),
-        ("cycle(n=16)".to_string(), GraphSpec::Cycle { n: 16 }, 4, 0.45),
+        (
+            "complete(n=40)".to_string(),
+            GraphSpec::Complete { n: 40 },
+            3,
+            0.4,
+        ),
+        (
+            "cycle(n=16)".to_string(),
+            GraphSpec::Cycle { n: 16 },
+            4,
+            0.45,
+        ),
         (
             "gnp(n=60,p=0.2)".to_string(),
             GraphSpec::ErdosRenyiGnp { n: 60, p: 0.2 },
@@ -55,12 +65,27 @@ pub fn cases(scale: Scale) -> Vec<(String, GraphSpec, usize, f64)> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "E9: time-reversal duality — forward process vs voting-DAG colouring",
-        &["graph", "rounds", "p_blue", "forward_estimate", "dag_estimate", "difference", "noise_scale", "consistent"],
+        &[
+            "graph",
+            "rounds",
+            "p_blue",
+            "forward_estimate",
+            "dag_estimate",
+            "difference",
+            "noise_scale",
+            "consistent",
+        ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE9);
     for (label, spec, rounds, p_blue) in cases(scale) {
         let graph = spec.generate(&mut rng).expect("graph");
-        let check = DualityCheck { vertex: 0, rounds, p_blue, trials: trials(scale), seed: 0xE9 };
+        let check = DualityCheck {
+            vertex: 0,
+            rounds,
+            p_blue,
+            trials: trials(scale),
+            seed: 0xE9,
+        };
         let report = check.run(&graph).expect("duality check");
         table.push_row(vec![
             label,
@@ -81,7 +106,13 @@ pub fn verify(scale: Scale) -> bool {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE9);
     cases(scale).into_iter().all(|(_, spec, rounds, p_blue)| {
         let graph = spec.generate(&mut rng).expect("graph");
-        let check = DualityCheck { vertex: 0, rounds, p_blue, trials: trials(scale), seed: 0xE9 };
+        let check = DualityCheck {
+            vertex: 0,
+            rounds,
+            p_blue,
+            trials: trials(scale),
+            seed: 0xE9,
+        };
         check.run(&graph).expect("duality check").consistent()
     })
 }

@@ -69,7 +69,13 @@ pub fn measure(n: usize, n_trials: usize, seed: u64) -> SprinklingRow {
             collision_free += 1;
         }
         let leaves: Vec<Opinion> = (0..dag.num_leaves())
-            .map(|_| if rng.gen::<f64>() < 0.4 { Opinion::Blue } else { Opinion::Red })
+            .map(|_| {
+                if rng.gen::<f64>() < 0.4 {
+                    Opinion::Blue
+                } else {
+                    Opinion::Red
+                }
+            })
             .collect();
         let base = colour_dag(&dag, &leaves).expect("colouring");
         let prime = sprinkled.colour(&leaves).expect("sprinkled colouring");

@@ -26,7 +26,11 @@ pub fn points(scale: Scale) -> Vec<(usize, f64)> {
 }
 
 /// Observed and planned phases for one point.
-pub fn measure(n: usize, delta: f64, seed: u64) -> (ObservedPhases, Option<bo3_theory::phases::PhasePlan>) {
+pub fn measure(
+    n: usize,
+    delta: f64,
+    seed: u64,
+) -> (ObservedPhases, Option<bo3_theory::phases::PhasePlan>) {
     let graph = GraphSpec::Complete { n }
         .generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
         .expect("graph");
@@ -61,7 +65,12 @@ pub fn run(scale: Scale) -> Table {
         let (obs, plan) = measure(n, delta, 0xE11 + i as u64);
         let (t3, t2) = plan
             .as_ref()
-            .map(|p| (p.t3_bias_amplification as f64, (p.t2_quadratic_decay + 1) as f64))
+            .map(|p| {
+                (
+                    p.t3_bias_amplification as f64,
+                    (p.t2_quadratic_decay + 1) as f64,
+                )
+            })
             .unwrap_or((f64::NAN, f64::NAN));
         table.push_row(vec![
             n.to_string(),
@@ -70,7 +79,9 @@ pub fn run(scale: Scale) -> Table {
             fmt_f64(t3),
             fmt_opt_f64(obs.measured_bias_growth_rate),
             "1.25".into(),
-            obs.decay_rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            obs.decay_rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
             fmt_f64(t2),
             obs.total_rounds.to_string(),
         ]);

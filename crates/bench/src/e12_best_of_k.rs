@@ -49,13 +49,18 @@ pub fn run(scale: Scale) -> Table {
             let protocol = if k == 3 {
                 ProtocolSpec::BestOfThree
             } else {
-                ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn }
+                ProtocolSpec::BestOfK {
+                    k,
+                    tie_rule: TieRule::KeepOwn,
+                }
             };
             Experiment {
                 name: format!("E12/k={k}"),
                 graph: GraphSpec::RandomRegular { n, d },
                 protocol,
-                initial: InitialCondition::BernoulliWithBias { delta: delta(scale) },
+                initial: InitialCondition::BernoulliWithBias {
+                    delta: delta(scale),
+                },
                 schedule: Schedule::Synchronous,
                 stopping: StoppingCondition::consensus_within(20_000),
                 replicas: replicas(scale),
@@ -81,13 +86,18 @@ pub fn verify(scale: Scale) -> bool {
         let protocol = if k == 3 {
             ProtocolSpec::BestOfThree
         } else {
-            ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn }
+            ProtocolSpec::BestOfK {
+                k,
+                tie_rule: TieRule::KeepOwn,
+            }
         };
         let r = Experiment {
             name: format!("E12v/k={k}"),
             graph: GraphSpec::RandomRegular { n, d },
             protocol,
-            initial: InitialCondition::BernoulliWithBias { delta: delta(scale) },
+            initial: InitialCondition::BernoulliWithBias {
+                delta: delta(scale),
+            },
             schedule: Schedule::Synchronous,
             stopping: StoppingCondition::consensus_within(20_000),
             replicas: replicas(scale),

@@ -37,13 +37,16 @@ pub enum Scale {
     Paper,
 }
 
-impl Scale {
-    /// Parses `--scale quick|paper` style values.
-    pub fn from_str(s: &str) -> Scale {
-        match s.trim().to_ascii_lowercase().as_str() {
+impl std::str::FromStr for Scale {
+    type Err = std::convert::Infallible;
+
+    /// Parses `--scale quick|paper` style values; unrecognised values fall
+    /// back to [`Scale::Quick`], so parsing never fails.
+    fn from_str(s: &str) -> Result<Scale, Self::Err> {
+        Ok(match s.trim().to_ascii_lowercase().as_str() {
             "paper" | "full" => Scale::Paper,
             _ => Scale::Quick,
-        }
+        })
     }
 }
 
@@ -69,7 +72,7 @@ pub fn scale_and_csv_from_args() -> (Scale, Option<String>) {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" if i + 1 < args.len() => {
-                scale = Scale::from_str(&args[i + 1]);
+                scale = args[i + 1].parse().unwrap_or(Scale::Quick);
                 i += 2;
             }
             "--csv" if i + 1 < args.len() => {
@@ -88,9 +91,9 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(Scale::from_str("paper"), Scale::Paper);
-        assert_eq!(Scale::from_str("FULL"), Scale::Paper);
-        assert_eq!(Scale::from_str("quick"), Scale::Quick);
-        assert_eq!(Scale::from_str("anything-else"), Scale::Quick);
+        assert_eq!("paper".parse(), Ok(Scale::Paper));
+        assert_eq!("FULL".parse(), Ok(Scale::Paper));
+        assert_eq!("quick".parse(), Ok(Scale::Quick));
+        assert_eq!("anything-else".parse(), Ok(Scale::Quick));
     }
 }

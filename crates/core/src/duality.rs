@@ -145,18 +145,42 @@ mod tests {
     #[test]
     fn rejects_bad_configuration() {
         let g = generators::complete(10);
-        let bad_vertex = DualityCheck { vertex: 99, rounds: 2, p_blue: 0.3, trials: 10, seed: 0 };
+        let bad_vertex = DualityCheck {
+            vertex: 99,
+            rounds: 2,
+            p_blue: 0.3,
+            trials: 10,
+            seed: 0,
+        };
         assert!(bad_vertex.run(&g).is_err());
-        let bad_p = DualityCheck { vertex: 0, rounds: 2, p_blue: 1.5, trials: 10, seed: 0 };
+        let bad_p = DualityCheck {
+            vertex: 0,
+            rounds: 2,
+            p_blue: 1.5,
+            trials: 10,
+            seed: 0,
+        };
         assert!(bad_p.run(&g).is_err());
-        let bad_trials = DualityCheck { vertex: 0, rounds: 2, p_blue: 0.3, trials: 0, seed: 0 };
+        let bad_trials = DualityCheck {
+            vertex: 0,
+            rounds: 2,
+            p_blue: 0.3,
+            trials: 0,
+            seed: 0,
+        };
         assert!(bad_trials.run(&g).is_err());
     }
 
     #[test]
     fn duality_holds_on_a_small_complete_graph() {
         let g = generators::complete(30);
-        let check = DualityCheck { vertex: 3, rounds: 3, p_blue: 0.4, trials: 3000, seed: 42 };
+        let check = DualityCheck {
+            vertex: 3,
+            rounds: 3,
+            p_blue: 0.4,
+            trials: 3000,
+            seed: 42,
+        };
         let report = check.run(&g).unwrap();
         assert!(
             report.consistent(),
@@ -171,7 +195,13 @@ mod tests {
         // Heavy coalescence regime: the DAG is nowhere near a ternary tree,
         // yet the duality is still exact.
         let g = generators::cycle(12).unwrap();
-        let check = DualityCheck { vertex: 0, rounds: 4, p_blue: 0.45, trials: 3000, seed: 7 };
+        let check = DualityCheck {
+            vertex: 0,
+            rounds: 4,
+            p_blue: 0.45,
+            trials: 3000,
+            seed: 7,
+        };
         let report = check.run(&g).unwrap();
         assert!(
             report.consistent(),
@@ -184,7 +214,13 @@ mod tests {
     #[test]
     fn zero_rounds_reduces_to_the_initial_condition() {
         let g = generators::complete(20);
-        let check = DualityCheck { vertex: 1, rounds: 0, p_blue: 0.25, trials: 4000, seed: 3 };
+        let check = DualityCheck {
+            vertex: 1,
+            rounds: 0,
+            p_blue: 0.25,
+            trials: 4000,
+            seed: 3,
+        };
         let report = check.run(&g).unwrap();
         assert!((report.forward_estimate - 0.25).abs() < 0.03);
         assert!((report.dag_estimate - 0.25).abs() < 0.03);
@@ -195,7 +231,13 @@ mod tests {
     fn extreme_probabilities_are_exact() {
         let g = generators::complete(15);
         for p in [0.0, 1.0] {
-            let check = DualityCheck { vertex: 0, rounds: 3, p_blue: p, trials: 200, seed: 9 };
+            let check = DualityCheck {
+                vertex: 0,
+                rounds: 3,
+                p_blue: p,
+                trials: 200,
+                seed: 9,
+            };
             let report = check.run(&g).unwrap();
             assert_eq!(report.forward_estimate, p);
             assert_eq!(report.dag_estimate, p);

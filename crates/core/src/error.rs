@@ -78,9 +78,11 @@ mod tests {
         assert!(e.to_string().contains("dynamics error"));
         let e: CoreError = bo3_dag::DagError::InvalidParameter { reason: "x".into() }.into();
         assert!(e.to_string().contains("voting-DAG error"));
-        let e: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        let e: CoreError = std::io::Error::other("disk").into();
         assert!(e.to_string().contains("disk"));
-        let e = CoreError::InvalidConfig { reason: "bad".into() };
+        let e = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
     }
 }

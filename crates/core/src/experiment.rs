@@ -47,7 +47,13 @@ pub struct Experiment {
 impl Experiment {
     /// The canonical Theorem-1 experiment: Best-of-3 on the given graph with
     /// the paper's `Bernoulli(1/2 − δ)` initial condition.
-    pub fn theorem_one(name: impl Into<String>, graph: GraphSpec, delta: f64, replicas: usize, seed: u64) -> Self {
+    pub fn theorem_one(
+        name: impl Into<String>,
+        graph: GraphSpec,
+        delta: f64,
+        replicas: usize,
+        seed: u64,
+    ) -> Self {
         Experiment {
             name: name.into(),
             graph,
@@ -182,13 +188,8 @@ mod tests {
 
     #[test]
     fn theorem_one_experiment_runs_and_red_sweeps() {
-        let exp = Experiment::theorem_one(
-            "unit/complete",
-            GraphSpec::Complete { n: 300 },
-            0.15,
-            10,
-            1,
-        );
+        let exp =
+            Experiment::theorem_one("unit/complete", GraphSpec::Complete { n: 300 }, 0.15, 10, 1);
         let result = exp.run().unwrap();
         assert_eq!(result.name, "unit/complete");
         assert!(result.red_swept());

@@ -61,12 +61,8 @@ pub fn segment_trace(trace: &Trace, n: usize) -> ObservedPhases {
 
     // Phase ii+iii: rounds from hand-over until the blue fraction drops below 1/n.
     let threshold = 1.0 / n.max(1) as f64;
-    let decay_rounds = handover.and_then(|start| {
-        fractions[start..]
-            .iter()
-            .position(|&b| b < threshold)
-            .map(|offset| offset)
-    });
+    let decay_rounds =
+        handover.and_then(|start| fractions[start..].iter().position(|&b| b < threshold));
 
     ObservedPhases {
         bias_amplification_rounds,
@@ -176,9 +172,11 @@ mod tests {
         let g = generators::complete(500);
         let sim = Simulator::new(&g).unwrap().with_trace(true);
         let mut rng = StdRng::seed_from_u64(4);
-        let init = InitialCondition::Bernoulli { blue_probability: 0.7 }
-            .sample(&g, &mut rng)
-            .unwrap();
+        let init = InitialCondition::Bernoulli {
+            blue_probability: 0.7,
+        }
+        .sample(&g, &mut rng)
+        .unwrap();
         let trace = sim
             .run(&BestOfThree::new(), init, &mut rng)
             .unwrap()

@@ -27,12 +27,16 @@ pub fn resolve_protocol(name: &str) -> Option<ProtocolSpec> {
     let lower = name.trim().to_ascii_lowercase();
     match lower.as_str() {
         "voter" | "best-of-1" | "bo1" => Some(ProtocolSpec::Voter),
-        "best-of-2" | "bo2" => Some(ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn }),
-        "best-of-2-random" => Some(ProtocolSpec::BestOfTwo { tie_rule: TieRule::Random }),
+        "best-of-2" | "bo2" => Some(ProtocolSpec::BestOfTwo {
+            tie_rule: TieRule::KeepOwn,
+        }),
+        "best-of-2-random" => Some(ProtocolSpec::BestOfTwo {
+            tie_rule: TieRule::Random,
+        }),
         "best-of-3" | "bo3" => Some(ProtocolSpec::BestOfThree),
-        "local-majority" | "majority" => {
-            Some(ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn })
-        }
+        "local-majority" | "majority" => Some(ProtocolSpec::LocalMajority {
+            tie_rule: TieRule::KeepOwn,
+        }),
         other => {
             let k: usize = other.strip_prefix("best-of-")?.parse().ok()?;
             if k == 0 {
@@ -40,7 +44,10 @@ pub fn resolve_protocol(name: &str) -> Option<ProtocolSpec> {
             } else if k == 3 {
                 Some(ProtocolSpec::BestOfThree)
             } else {
-                Some(ProtocolSpec::BestOfK { k, tie_rule: TieRule::KeepOwn })
+                Some(ProtocolSpec::BestOfK {
+                    k,
+                    tie_rule: TieRule::KeepOwn,
+                })
             }
         }
     }
@@ -50,10 +57,26 @@ pub fn resolve_protocol(name: &str) -> Option<ProtocolSpec> {
 pub fn comparison_protocols() -> Vec<(&'static str, ProtocolSpec)> {
     vec![
         ("voter", ProtocolSpec::Voter),
-        ("best-of-2", ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn }),
+        (
+            "best-of-2",
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::KeepOwn,
+            },
+        ),
         ("best-of-3", ProtocolSpec::BestOfThree),
-        ("best-of-5", ProtocolSpec::BestOfK { k: 5, tie_rule: TieRule::KeepOwn }),
-        ("local-majority", ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn }),
+        (
+            "best-of-5",
+            ProtocolSpec::BestOfK {
+                k: 5,
+                tie_rule: TieRule::KeepOwn,
+            },
+        ),
+        (
+            "local-majority",
+            ProtocolSpec::LocalMajority {
+                tie_rule: TieRule::KeepOwn,
+            },
+        ),
     ]
 }
 
@@ -73,7 +96,10 @@ mod tests {
         assert_eq!(resolve_protocol("BO3"), Some(ProtocolSpec::BestOfThree));
         assert_eq!(resolve_protocol(" Voter "), Some(ProtocolSpec::Voter));
         assert_eq!(resolve_protocol("best-of-1"), Some(ProtocolSpec::Voter));
-        assert_eq!(resolve_protocol("best-of-3"), Some(ProtocolSpec::BestOfThree));
+        assert_eq!(
+            resolve_protocol("best-of-3"),
+            Some(ProtocolSpec::BestOfThree)
+        );
     }
 
     #[test]

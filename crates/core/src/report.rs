@@ -79,7 +79,9 @@ impl Table {
             .collect();
         out.push_str(&header_line.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row
@@ -239,7 +241,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(123.456), "123.5");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(5.67891), "5.68");
         assert_eq!(fmt_f64(0.01234), "0.0123");
         assert_eq!(fmt_f64(0.000012), "1.200e-5");
         assert_eq!(fmt_opt_f64(None), "-");

@@ -101,7 +101,14 @@ mod tests {
         let table = results_table("E-test", &[r]);
         let csv = table.to_csv();
         // The last column should not be the placeholder dash.
-        let last_cell = csv.lines().nth(1).unwrap().split(',').last().unwrap().to_string();
+        let last_cell = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .to_string();
         assert_ne!(last_cell, "-");
     }
 

@@ -266,13 +266,13 @@ mod tests {
         let mut cobra_means = vec![0.0f64; steps + 1];
         for _ in 0..trials {
             let dag = crate::voting_dag::VotingDag::sample(&g, 0, steps, &mut rng).unwrap();
-            for t in 0..=steps {
+            for (t, mean) in dag_means.iter_mut().enumerate() {
                 // Level height-t of the DAG corresponds to COBRA step t.
-                dag_means[t] += dag.level(steps - t).len() as f64;
+                *mean += dag.level(steps - t).len() as f64;
             }
             let traj = cobra_walk(&g, 0, 3, steps, false, &mut rng).unwrap();
-            for t in 0..=steps {
-                cobra_means[t] += traj.occupancy[t] as f64;
+            for (mean, occupancy) in cobra_means.iter_mut().zip(&traj.occupancy) {
+                *mean += *occupancy as f64;
             }
         }
         for t in 0..=steps {

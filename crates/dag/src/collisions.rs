@@ -117,7 +117,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let dag = VotingDag::sample(&g, 0, 6, &mut rng).unwrap();
         let stats = collision_stats(&dag);
-        assert!(stats.collision_levels >= 4, "levels {:?}", stats.collisions_per_level);
+        assert!(
+            stats.collision_levels >= 4,
+            "levels {:?}",
+            stats.collisions_per_level
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub fn colour_dag(dag: &VotingDag, leaf_colours: &[Opinion]) -> Result<DagColour
         let mut this: Vec<Opinion> = Vec::with_capacity(level.len());
         for sample in &level.samples {
             let blues = sample.iter().filter(|&&idx| below[idx].is_blue()).count();
-            this.push(if blues >= 2 { Opinion::Blue } else { Opinion::Red });
+            this.push(if blues >= 2 {
+                Opinion::Blue
+            } else {
+                Opinion::Red
+            });
         }
         colours.push(this);
     }

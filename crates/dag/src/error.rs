@@ -35,7 +35,10 @@ impl fmt::Display for DagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DagError::RootOutOfRange { root, n } => {
-                write!(f, "root vertex {root} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "root vertex {root} out of range for graph with {n} vertices"
+                )
             }
             DagError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
             DagError::LeafColouringMismatch { got, expected } => write!(
@@ -68,7 +71,10 @@ mod tests {
     fn display_messages_mention_parameters() {
         let e = DagError::RootOutOfRange { root: 9, n: 5 };
         assert!(e.to_string().contains('9') && e.to_string().contains('5'));
-        let e = DagError::LeafColouringMismatch { got: 2, expected: 4 };
+        let e = DagError::LeafColouringMismatch {
+            got: 2,
+            expected: 4,
+        };
         assert!(e.to_string().contains('2') && e.to_string().contains('4'));
     }
 

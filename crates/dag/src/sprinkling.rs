@@ -141,7 +141,11 @@ impl SprinkledDag {
                     SprinkledNode::Original { .. } => {
                         let sample = &level.samples[i];
                         let blues = sample.iter().filter(|&&idx| below[idx].is_blue()).count();
-                        this.push(if blues >= 2 { Opinion::Blue } else { Opinion::Red });
+                        this.push(if blues >= 2 {
+                            Opinion::Blue
+                        } else {
+                            Opinion::Red
+                        });
                     }
                     SprinkledNode::ForcedBlue => this.push(Opinion::Blue),
                 }

@@ -235,11 +235,14 @@ mod tests {
                 let v = level.vertices[i];
                 for &idx in sample {
                     assert!(idx < below.len());
-                    assert!(g.has_edge(v, below.vertices[idx]), "sampled a non-neighbour");
+                    assert!(
+                        g.has_edge(v, below.vertices[idx]),
+                        "sampled a non-neighbour"
+                    );
                 }
             }
             // Level sizes never exceed the ternary reference.
-            assert!(level.len() <= dag.ternary_reference_sizes()[t].max(1) * 1);
+            assert!(level.len() <= dag.ternary_reference_sizes()[t].max(1));
         }
         // Vertices within a level are distinct (deduplication worked).
         for t in 0..=5 {

@@ -56,10 +56,17 @@ impl ProtocolSpec {
     pub fn comparison_set() -> Vec<ProtocolSpec> {
         vec![
             ProtocolSpec::Voter,
-            ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn },
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::KeepOwn,
+            },
             ProtocolSpec::BestOfThree,
-            ProtocolSpec::BestOfK { k: 5, tie_rule: TieRule::KeepOwn },
-            ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn },
+            ProtocolSpec::BestOfK {
+                k: 5,
+                tie_rule: TieRule::KeepOwn,
+            },
+            ProtocolSpec::LocalMajority {
+                tie_rule: TieRule::KeepOwn,
+            },
         ]
     }
 }
@@ -72,16 +79,29 @@ mod tests {
     fn specs_build_the_right_protocols() {
         assert_eq!(ProtocolSpec::Voter.build().sample_size(), 1);
         assert_eq!(
-            ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn }.build().sample_size(),
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::KeepOwn
+            }
+            .build()
+            .sample_size(),
             2
         );
         assert_eq!(ProtocolSpec::BestOfThree.build().sample_size(), 3);
         assert_eq!(
-            ProtocolSpec::BestOfK { k: 7, tie_rule: TieRule::Random }.build().sample_size(),
+            ProtocolSpec::BestOfK {
+                k: 7,
+                tie_rule: TieRule::Random
+            }
+            .build()
+            .sample_size(),
             7
         );
         assert_eq!(
-            ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn }.build().sample_size(),
+            ProtocolSpec::LocalMajority {
+                tie_rule: TieRule::KeepOwn
+            }
+            .build()
+            .sample_size(),
             0
         );
     }
@@ -90,9 +110,12 @@ mod tests {
     fn names_are_consistent_with_protocols() {
         assert!(ProtocolSpec::BestOfThree.name().contains("best-of-3"));
         assert!(ProtocolSpec::Voter.name().contains("voter"));
-        assert!(ProtocolSpec::BestOfK { k: 5, tie_rule: TieRule::KeepOwn }
-            .name()
-            .contains("best-of-5"));
+        assert!(ProtocolSpec::BestOfK {
+            k: 5,
+            tie_rule: TieRule::KeepOwn
+        }
+        .name()
+        .contains("best-of-5"));
     }
 
     #[test]

@@ -159,6 +159,72 @@ impl<'g> Simulator<'g> {
         }
     }
 
+    /// Performs one synchronous round with the parallel stepper's
+    /// `(master_seed, round, chunk)` RNG derivation, single-threaded.
+    pub fn step_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        let prev = current.as_slice();
+        next.clear();
+        next.resize(prev.len(), Opinion::Red);
+        for (chunk, out) in next.chunks_mut(crate::parallel::CHUNK_SIZE).enumerate() {
+            let mut rng = crate::parallel::chunk_rng(master_seed, round, chunk as u64);
+            crate::parallel::update_chunk(
+                protocol,
+                &self.sampler,
+                prev,
+                chunk * crate::parallel::CHUNK_SIZE,
+                out,
+                &mut rng,
+            );
+        }
+    }
+
+    /// Runs the synchronous dynamics with all randomness derived from
+    /// `master_seed`, using the same per-chunk derivation as
+    /// [`crate::parallel::ParallelSimulator`].
+    ///
+    /// The returned [`RunResult`] is bit-for-bit identical to
+    /// `ParallelSimulator::run` with the same seed at **any** thread count —
+    /// the determinism contract documented in [`crate::parallel`], pinned by
+    /// the integration suite's determinism regression test.
+    ///
+    /// Fails if the simulator was configured with an asynchronous schedule,
+    /// which has no parallel counterpart.
+    pub fn run_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        if self.schedule != Schedule::Synchronous {
+            return Err(DynamicsError::InvalidParameter {
+                reason: "run_seeded requires the synchronous schedule".into(),
+            });
+        }
+        if initial.len() != self.graph.num_vertices() {
+            return Err(DynamicsError::OpinionLengthMismatch {
+                got: initial.len(),
+                expected: self.graph.num_vertices(),
+            });
+        }
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        Ok(drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, round| {
+                self.step_seeded(protocol, config, &mut scratch, master_seed, round as u64);
+                config.overwrite_from(&scratch);
+            },
+        ))
+    }
+
     /// Runs the dynamics from `initial` until the stopping condition fires.
     pub fn run(
         &self,
@@ -172,42 +238,66 @@ impl<'g> Simulator<'g> {
                 expected: self.graph.num_vertices(),
             });
         }
-        let initial_blue_fraction = initial.blue_fraction();
-        let mut config = initial;
-        let mut trace = if self.record_trace { Some(Trace::new()) } else { None };
-        if let Some(t) = trace.as_mut() {
-            t.record(0, &config);
-        }
-
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(config.len());
-        let mut rounds = 0usize;
-        let stop_reason = loop {
-            if let Some(reason) = self.stopping.should_stop(&config, rounds) {
-                break reason;
-            }
-            match self.schedule {
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        Ok(drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, _round| match self.schedule {
                 Schedule::Synchronous => {
-                    self.step_synchronous(protocol, &config, &mut scratch, rng);
+                    self.step_synchronous(protocol, config, &mut scratch, rng);
                     config.overwrite_from(&scratch);
                 }
                 Schedule::AsynchronousRandomOrder => {
-                    self.step_asynchronous(protocol, &mut config, rng);
+                    self.step_asynchronous(protocol, config, rng);
                 }
-            }
-            rounds += 1;
-            if let Some(t) = trace.as_mut() {
-                t.record(rounds, &config);
-            }
-        };
+            },
+        ))
+    }
+}
 
-        Ok(RunResult {
-            stop_reason,
-            winner: stop_reason.winner(),
-            rounds,
-            initial_blue_fraction,
-            final_blue_fraction: config.blue_fraction(),
-            trace,
-        })
+/// The shared run driver: applies `round_fn` until `stopping` fires,
+/// recording the trace and assembling the [`RunResult`].
+///
+/// Every runner — [`Simulator::run`], [`Simulator::run_seeded`] and
+/// [`crate::parallel::ParallelSimulator::run`] — goes through this single
+/// loop, so stopping, trace and bookkeeping semantics cannot drift between
+/// the sequential and parallel paths (the bit-identical determinism
+/// contract depends on that).
+pub(crate) fn drive(
+    stopping: &StoppingCondition,
+    record_trace: bool,
+    initial: Configuration,
+    mut round_fn: impl FnMut(&mut Configuration, usize),
+) -> RunResult {
+    let initial_blue_fraction = initial.blue_fraction();
+    let mut config = initial;
+    let mut trace = if record_trace {
+        Some(Trace::new())
+    } else {
+        None
+    };
+    if let Some(t) = trace.as_mut() {
+        t.record(0, &config);
+    }
+    let mut rounds = 0usize;
+    let stop_reason = loop {
+        if let Some(reason) = stopping.should_stop(&config, rounds) {
+            break reason;
+        }
+        round_fn(&mut config, rounds);
+        rounds += 1;
+        if let Some(t) = trace.as_mut() {
+            t.record(rounds, &config);
+        }
+    };
+    RunResult {
+        stop_reason,
+        winner: stop_reason.winner(),
+        rounds,
+        initial_blue_fraction,
+        final_blue_fraction: config.blue_fraction(),
+        trace,
     }
 }
 
@@ -224,7 +314,11 @@ mod tests {
     fn rejects_empty_graph_and_isolated_vertices() {
         let empty = bo3_graph::GraphBuilder::new(0).build().unwrap();
         assert!(Simulator::new(&empty).is_err());
-        let iso = bo3_graph::GraphBuilder::new(3).add_edge(0, 1).unwrap().build().unwrap();
+        let iso = bo3_graph::GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(Simulator::new(&iso).is_err());
     }
 
@@ -236,7 +330,10 @@ mod tests {
         let bad = Configuration::all_red(3);
         assert!(matches!(
             sim.run(&BestOfThree::new(), bad, &mut rng),
-            Err(DynamicsError::OpinionLengthMismatch { got: 3, expected: 5 })
+            Err(DynamicsError::OpinionLengthMismatch {
+                got: 3,
+                expected: 5
+            })
         ));
     }
 
@@ -277,9 +374,11 @@ mod tests {
         let g = generators::complete(300);
         let sim = Simulator::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let init = InitialCondition::Bernoulli { blue_probability: 0.7 }
-            .sample(&g, &mut rng)
-            .unwrap();
+        let init = InitialCondition::Bernoulli {
+            blue_probability: 0.7,
+        }
+        .sample(&g, &mut rng)
+        .unwrap();
         let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
         assert_eq!(res.winner, Some(Opinion::Blue));
     }
@@ -292,7 +391,9 @@ mod tests {
             .with_stopping(StoppingCondition::fixed_rounds(4))
             .with_trace(true);
         let mut rng = StdRng::seed_from_u64(4);
-        let init = InitialCondition::ExactCount { blue: 50 }.sample(&g, &mut rng).unwrap();
+        let init = InitialCondition::ExactCount { blue: 50 }
+            .sample(&g, &mut rng)
+            .unwrap();
         let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
         assert_eq!(res.rounds, 4);
         assert_eq!(res.stop_reason, StopReason::RoundLimit);
@@ -303,12 +404,16 @@ mod tests {
     fn voter_model_is_much_slower_than_best_of_three() {
         let g = generators::complete(150);
         let mut rng = StdRng::seed_from_u64(5);
-        let init = InitialCondition::ExactCount { blue: 60 }.sample(&g, &mut rng).unwrap();
+        let init = InitialCondition::ExactCount { blue: 60 }
+            .sample(&g, &mut rng)
+            .unwrap();
 
         let sim = Simulator::new(&g)
             .unwrap()
             .with_stopping(StoppingCondition::consensus_within(100_000));
-        let bo3 = sim.run(&BestOfThree::new(), init.clone(), &mut rng).unwrap();
+        let bo3 = sim
+            .run(&BestOfThree::new(), init.clone(), &mut rng)
+            .unwrap();
         let voter = sim.run(&Voter::new(), init, &mut rng).unwrap();
         assert!(bo3.reached_consensus());
         assert!(voter.reached_consensus());
@@ -325,7 +430,9 @@ mod tests {
         let g = generators::complete(101);
         let sim = Simulator::new(&g).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        let init = InitialCondition::ExactCount { blue: 30 }.sample(&g, &mut rng).unwrap();
+        let init = InitialCondition::ExactCount { blue: 30 }
+            .sample(&g, &mut rng)
+            .unwrap();
         let res = sim.run(&LocalMajority::keep_own(), init, &mut rng).unwrap();
         assert!(res.red_won());
         assert_eq!(res.rounds, 1);
@@ -362,12 +469,8 @@ mod tests {
         let mut next = Vec::new();
         sim.step_synchronous(&LocalMajority::keep_own(), &cfg, &mut next, &mut rng);
         // Every left vertex sees only red neighbours and vice versa.
-        for v in 0..5 {
-            assert_eq!(next[v], Opinion::Red);
-        }
-        for v in 5..10 {
-            assert_eq!(next[v], Opinion::Blue);
-        }
+        assert!(next[..5].iter().all(|&o| o == Opinion::Red));
+        assert!(next[5..].iter().all(|&o| o == Opinion::Blue));
     }
 
     #[test]
@@ -382,6 +485,35 @@ mod tests {
             .unwrap();
         let res = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
         assert!(res.final_blue_fraction <= 0.05);
+    }
+
+    #[test]
+    fn run_seeded_requires_the_synchronous_schedule() {
+        let g = generators::complete(20);
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_schedule(Schedule::AsynchronousRandomOrder);
+        let init = Configuration::all_red(20);
+        assert!(matches!(
+            sim.run_seeded(&BestOfThree::new(), init, 0),
+            Err(DynamicsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn run_seeded_is_reproducible() {
+        let g = generators::complete(300);
+        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let mut rng = StdRng::seed_from_u64(10);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let a = sim
+            .run_seeded(&BestOfThree::new(), init.clone(), 77)
+            .unwrap();
+        let b = sim.run_seeded(&BestOfThree::new(), init, 77).unwrap();
+        assert_eq!(a, b);
+        assert!(a.red_won());
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = DynamicsError::OpinionLengthMismatch { got: 3, expected: 5 };
+        let e = DynamicsError::OpinionLengthMismatch {
+            got: 3,
+            expected: 5,
+        };
         assert!(e.to_string().contains("length 3"));
         assert!(e.to_string().contains("5 vertices"));
         let e = DynamicsError::DidNotConverge { rounds: 100 };

@@ -68,7 +68,9 @@ impl InitialCondition {
         let n = graph.num_vertices();
         match self {
             InitialCondition::BernoulliWithBias { delta } => {
-                if !(*delta > 0.0) || *delta > 0.5 {
+                // NaN fails the first comparison and is rejected too.
+                let delta_valid = *delta > 0.0 && *delta <= 0.5;
+                if !delta_valid {
                     return Err(DynamicsError::InvalidParameter {
                         reason: format!("delta must lie in (0, 1/2], got {delta}"),
                     });
@@ -78,7 +80,9 @@ impl InitialCondition {
             InitialCondition::Bernoulli { blue_probability } => {
                 if !(0.0..=1.0).contains(blue_probability) || blue_probability.is_nan() {
                     return Err(DynamicsError::InvalidParameter {
-                        reason: format!("blue probability must lie in [0,1], got {blue_probability}"),
+                        reason: format!(
+                            "blue probability must lie in [0,1], got {blue_probability}"
+                        ),
                     });
                 }
                 bernoulli(n, *blue_probability, rng)
@@ -144,7 +148,9 @@ impl InitialCondition {
             InitialCondition::AllBlue => "all_blue".into(),
             InitialCondition::HighestDegreeBlue { blue } => format!("highest_degree(blue={blue})"),
             InitialCondition::LowestDegreeBlue { blue } => format!("lowest_degree(blue={blue})"),
-            InitialCondition::ExplicitBlue { vertices } => format!("explicit(|B|={})", vertices.len()),
+            InitialCondition::ExplicitBlue { vertices } => {
+                format!("explicit(|B|={})", vertices.len())
+            }
             InitialCondition::PrefixBlue { blue } => format!("prefix(blue={blue})"),
         }
     }
@@ -219,16 +225,22 @@ mod tests {
     fn bernoulli_probability_validation_and_extremes() {
         let g = generators::complete(50);
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(InitialCondition::Bernoulli { blue_probability: 1.4 }
-            .sample(&g, &mut rng)
-            .is_err());
-        let all_blue = InitialCondition::Bernoulli { blue_probability: 1.0 }
-            .sample(&g, &mut rng)
-            .unwrap();
+        assert!(InitialCondition::Bernoulli {
+            blue_probability: 1.4
+        }
+        .sample(&g, &mut rng)
+        .is_err());
+        let all_blue = InitialCondition::Bernoulli {
+            blue_probability: 1.0,
+        }
+        .sample(&g, &mut rng)
+        .unwrap();
         assert_eq!(all_blue.blue_count(), 50);
-        let all_red = InitialCondition::Bernoulli { blue_probability: 0.0 }
-            .sample(&g, &mut rng)
-            .unwrap();
+        let all_red = InitialCondition::Bernoulli {
+            blue_probability: 0.0,
+        }
+        .sample(&g, &mut rng)
+        .unwrap();
         assert_eq!(all_red.blue_count(), 0);
     }
 
@@ -237,7 +249,9 @@ mod tests {
         let g = generators::complete(100);
         let mut rng = StdRng::seed_from_u64(3);
         for &blue in &[0usize, 1, 37, 100] {
-            let cfg = InitialCondition::ExactCount { blue }.sample(&g, &mut rng).unwrap();
+            let cfg = InitialCondition::ExactCount { blue }
+                .sample(&g, &mut rng)
+                .unwrap();
             assert_eq!(cfg.blue_count(), blue);
         }
         assert!(InitialCondition::ExactCount { blue: 101 }
@@ -250,8 +264,12 @@ mod tests {
         let g = generators::complete(50);
         let mut rng1 = StdRng::seed_from_u64(4);
         let mut rng2 = StdRng::seed_from_u64(5);
-        let a = InitialCondition::ExactCount { blue: 10 }.sample(&g, &mut rng1).unwrap();
-        let b = InitialCondition::ExactCount { blue: 10 }.sample(&g, &mut rng2).unwrap();
+        let a = InitialCondition::ExactCount { blue: 10 }
+            .sample(&g, &mut rng1)
+            .unwrap();
+        let b = InitialCondition::ExactCount { blue: 10 }
+            .sample(&g, &mut rng2)
+            .unwrap();
         assert_ne!(a.blue_vertices(), b.blue_vertices());
     }
 
@@ -260,11 +278,17 @@ mod tests {
         let g = generators::complete(7);
         let mut rng = StdRng::seed_from_u64(6);
         assert_eq!(
-            InitialCondition::AllRed.sample(&g, &mut rng).unwrap().blue_count(),
+            InitialCondition::AllRed
+                .sample(&g, &mut rng)
+                .unwrap()
+                .blue_count(),
             0
         );
         assert_eq!(
-            InitialCondition::AllBlue.sample(&g, &mut rng).unwrap().blue_count(),
+            InitialCondition::AllBlue
+                .sample(&g, &mut rng)
+                .unwrap()
+                .blue_count(),
             7
         );
     }
@@ -291,17 +315,23 @@ mod tests {
     fn explicit_and_prefix_placement() {
         let g = generators::complete(10);
         let mut rng = StdRng::seed_from_u64(8);
-        let cfg = InitialCondition::ExplicitBlue { vertices: vec![2, 5, 7] }
-            .sample(&g, &mut rng)
-            .unwrap();
+        let cfg = InitialCondition::ExplicitBlue {
+            vertices: vec![2, 5, 7],
+        }
+        .sample(&g, &mut rng)
+        .unwrap();
         assert_eq!(cfg.blue_vertices(), vec![2, 5, 7]);
         assert!(InitialCondition::ExplicitBlue { vertices: vec![99] }
             .sample(&g, &mut rng)
             .is_err());
 
-        let prefix = InitialCondition::PrefixBlue { blue: 4 }.sample(&g, &mut rng).unwrap();
+        let prefix = InitialCondition::PrefixBlue { blue: 4 }
+            .sample(&g, &mut rng)
+            .unwrap();
         assert_eq!(prefix.blue_vertices(), vec![0, 1, 2, 3]);
-        assert!(InitialCondition::PrefixBlue { blue: 11 }.sample(&g, &mut rng).is_err());
+        assert!(InitialCondition::PrefixBlue { blue: 11 }
+            .sample(&g, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -309,10 +339,14 @@ mod tests {
         assert!(InitialCondition::BernoulliWithBias { delta: 0.05 }
             .label()
             .contains("0.05"));
-        assert!(InitialCondition::ExactCount { blue: 9 }.label().contains("9"));
-        assert_eq!(InitialCondition::AllRed.label(), "all_red");
-        assert!(InitialCondition::ExplicitBlue { vertices: vec![1, 2] }
+        assert!(InitialCondition::ExactCount { blue: 9 }
             .label()
-            .contains("|B|=2"));
+            .contains("9"));
+        assert_eq!(InitialCondition::AllRed.label(), "all_red");
+        assert!(InitialCondition::ExplicitBlue {
+            vertices: vec![1, 2]
+        }
+        .label()
+        .contains("|B|=2"));
     }
 }

@@ -59,7 +59,10 @@ impl MonteCarloReport {
         } else {
             consensus.len() as f64 / total as f64
         };
-        let red_wins = consensus.iter().filter(|o| o.winner == Some(Opinion::Red)).count();
+        let red_wins = consensus
+            .iter()
+            .filter(|o| o.winner == Some(Opinion::Red))
+            .count();
         let red_win = ProportionEstimate::new(red_wins, consensus.len());
         let rounds: Vec<f64> = consensus.iter().map(|o| o.rounds as f64).collect();
         let rounds_to_consensus = Summary::of(&rounds);
@@ -114,7 +117,9 @@ impl MonteCarlo {
     /// Runs every replica and aggregates the results.
     pub fn run(&self, graph: &CsrGraph) -> Result<MonteCarloReport> {
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.threads
         };
@@ -135,8 +140,7 @@ impl MonteCarlo {
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
-                    let replica =
-                        next_replica.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let replica = next_replica.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if replica >= self.replicas {
                         break;
                     }

@@ -78,7 +78,10 @@ impl Configuration {
     /// Builds a configuration from a vector of opinions.
     pub fn new(opinions: Vec<Opinion>) -> Self {
         let blue_count = opinions.iter().filter(|o| o.is_blue()).count();
-        Configuration { opinions, blue_count }
+        Configuration {
+            opinions,
+            blue_count,
+        }
     }
 
     /// A configuration of `n` vertices, all red.

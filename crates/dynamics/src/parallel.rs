@@ -18,17 +18,16 @@ use rand_chacha::ChaCha8Rng;
 
 use bo3_graph::{CsrGraph, NeighbourSampler};
 
+use crate::engine::RunResult;
 use crate::error::{DynamicsError, Result};
 use crate::opinion::{Configuration, Opinion};
 use crate::protocol::{Protocol, UpdateContext};
 use crate::stopping::StoppingCondition;
-use crate::trace::Trace;
-use crate::engine::RunResult;
 
 /// Number of vertices per work unit. Fixed (rather than `n / threads`) so the
 /// chunk→RNG mapping, and therefore the simulation output, does not depend on
 /// the thread count.
-const CHUNK_SIZE: usize = 4096;
+pub const CHUNK_SIZE: usize = 4096;
 
 /// A multi-threaded synchronous simulator.
 pub struct ParallelSimulator<'g> {
@@ -50,7 +49,9 @@ impl<'g> ParallelSimulator<'g> {
         }
         let sampler = NeighbourSampler::new(graph)?;
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             threads
         };
@@ -116,18 +117,15 @@ impl<'g> ParallelSimulator<'g> {
                 }
                 scope.spawn(move |_| {
                     for (chunk, out) in bucket {
-                        let start = chunk * CHUNK_SIZE;
                         let mut rng = chunk_rng(master_seed, round, chunk as u64);
-                        for (i, slot) in out.iter_mut().enumerate() {
-                            let v = start + i;
-                            let ctx = UpdateContext {
-                                vertex: v,
-                                current: prev[v],
-                                previous: prev,
-                                sampler: sampler_ref,
-                            };
-                            *slot = protocol.update(&ctx, &mut rng);
-                        }
+                        update_chunk(
+                            protocol,
+                            sampler_ref,
+                            prev,
+                            chunk * CHUNK_SIZE,
+                            out,
+                            &mut rng,
+                        );
                     }
                 });
             }
@@ -149,38 +147,52 @@ impl<'g> ParallelSimulator<'g> {
                 expected: self.graph.num_vertices(),
             });
         }
-        let initial_blue_fraction = initial.blue_fraction();
-        let mut config = initial;
-        let mut trace = if self.record_trace { Some(Trace::new()) } else { None };
-        if let Some(t) = trace.as_mut() {
-            t.record(0, &config);
-        }
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(config.len());
-        let mut rounds = 0usize;
-        let stop_reason = loop {
-            if let Some(reason) = self.stopping.should_stop(&config, rounds) {
-                break reason;
-            }
-            self.step(protocol, &config, &mut scratch, master_seed, rounds as u64);
-            config.overwrite_from(&scratch);
-            rounds += 1;
-            if let Some(t) = trace.as_mut() {
-                t.record(rounds, &config);
-            }
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        Ok(crate::engine::drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, round| {
+                self.step(protocol, config, &mut scratch, master_seed, round as u64);
+                config.overwrite_from(&scratch);
+            },
+        ))
+    }
+}
+
+/// Applies `protocol` to the vertices `start..start + out.len()`, reading
+/// the previous-round snapshot `prev` and writing the new opinions into
+/// `out`, consuming `rng` once per vertex in order.
+///
+/// Shared by the parallel stepper and the seeded sequential stepper
+/// ([`crate::engine::Simulator::step_seeded`]) so their per-vertex update
+/// sequence — and therefore the bit-identical determinism contract —
+/// cannot diverge.
+pub(crate) fn update_chunk(
+    protocol: &dyn Protocol,
+    sampler: &NeighbourSampler<'_>,
+    prev: &[Opinion],
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut dyn RngCore,
+) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let v = start + i;
+        let ctx = UpdateContext {
+            vertex: v,
+            current: prev[v],
+            previous: prev,
+            sampler,
         };
-        Ok(RunResult {
-            stop_reason,
-            winner: stop_reason.winner(),
-            rounds,
-            initial_blue_fraction,
-            final_blue_fraction: config.blue_fraction(),
-            trace,
-        })
+        *slot = protocol.update(&ctx, rng);
     }
 }
 
 /// Derives the RNG for one `(seed, round, chunk)` work unit.
-fn chunk_rng(master_seed: u64, round: u64, chunk: u64) -> impl RngCore {
+///
+/// Public so seeded sequential runs ([`crate::engine::Simulator::run_seeded`])
+/// can reproduce the parallel stepper's randomness bit-for-bit.
+pub fn chunk_rng(master_seed: u64, round: u64, chunk: u64) -> impl RngCore {
     // SplitMix-style mixing of the three coordinates into a 64-bit stream id,
     // then ChaCha8 for the actual stream (cheap, high quality, seekable).
     let mut z = master_seed
@@ -246,7 +258,9 @@ mod tests {
             .unwrap();
 
         let run_with = |threads: usize| {
-            let sim = ParallelSimulator::new(&g, threads).unwrap().with_trace(true);
+            let sim = ParallelSimulator::new(&g, threads)
+                .unwrap()
+                .with_trace(true);
             sim.run(&BestOfThree::new(), init.clone(), 1234).unwrap()
         };
         let one = run_with(1);
@@ -260,7 +274,9 @@ mod tests {
     fn different_master_seeds_give_different_runs() {
         let g = generators::complete(500);
         let mut rng = StdRng::seed_from_u64(2);
-        let init = InitialCondition::ExactCount { blue: 200 }.sample(&g, &mut rng).unwrap();
+        let init = InitialCondition::ExactCount { blue: 200 }
+            .sample(&g, &mut rng)
+            .unwrap();
         let sim = ParallelSimulator::new(&g, 4).unwrap().with_trace(true);
         let a = sim.run(&BestOfThree::new(), init.clone(), 7).unwrap();
         let b = sim.run(&BestOfThree::new(), init, 8).unwrap();
@@ -272,7 +288,9 @@ mod tests {
         let g = generators::complete(100);
         let sim = ParallelSimulator::new(&g, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let init = InitialCondition::ExactCount { blue: 40 }.sample(&g, &mut rng).unwrap();
+        let init = InitialCondition::ExactCount { blue: 40 }
+            .sample(&g, &mut rng)
+            .unwrap();
         let mut next = Vec::new();
         sim.step(&BestOfThree::new(), &init, &mut next, 5, 0);
         assert_eq!(next.len(), 100);

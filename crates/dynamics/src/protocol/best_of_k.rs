@@ -82,7 +82,13 @@ mod tests {
         let sampler = NeighbourSampler::new(&g).unwrap();
         let blue_count = (n as f64 * p_blue).round() as usize;
         let opinions: Vec<Opinion> = (0..n)
-            .map(|v| if v < blue_count { Opinion::Blue } else { Opinion::Red })
+            .map(|v| {
+                if v < blue_count {
+                    Opinion::Blue
+                } else {
+                    Opinion::Red
+                }
+            })
             .collect();
         let vertex = if current.is_blue() { 0 } else { n - 1 };
         let ctx = UpdateContext {

@@ -114,7 +114,13 @@ mod tests {
         let p_blue = 0.3;
         let blue_count = (n as f64 * p_blue) as usize;
         let opinions: Vec<Opinion> = (0..n)
-            .map(|v| if v < blue_count { Opinion::Blue } else { Opinion::Red })
+            .map(|v| {
+                if v < blue_count {
+                    Opinion::Blue
+                } else {
+                    Opinion::Red
+                }
+            })
             .collect();
         let protocol = BestOfThree::new();
         let mut rng = StdRng::seed_from_u64(2);

@@ -130,7 +130,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(1);
         let trials = 4000;
-        let blue = (0..trials).filter(|_| p.update(&ctx, &mut rng).is_blue()).count();
+        let blue = (0..trials)
+            .filter(|_| p.update(&ctx, &mut rng).is_blue())
+            .count();
         let frac = blue as f64 / trials as f64;
         assert!((frac - 0.5).abs() < 0.05, "tie coin fraction {frac}");
     }

@@ -177,7 +177,7 @@ mod tests {
         let sampler = NeighbourSampler::new(&g).unwrap();
         let opinions = vec![Opinion::Red]
             .into_iter()
-            .chain(std::iter::repeat(Opinion::Blue).take(9))
+            .chain(std::iter::repeat_n(Opinion::Blue, 9))
             .collect::<Vec<_>>();
         let ctx = UpdateContext {
             vertex: 0,

@@ -85,7 +85,13 @@ mod tests {
         let sampler = NeighbourSampler::new(&g).unwrap();
         let blue_count = 300;
         let opinions: Vec<Opinion> = (0..n)
-            .map(|v| if v < blue_count { Opinion::Blue } else { Opinion::Red })
+            .map(|v| {
+                if v < blue_count {
+                    Opinion::Blue
+                } else {
+                    Opinion::Red
+                }
+            })
             .collect();
         let ctx = UpdateContext {
             vertex: n - 1,
@@ -96,7 +102,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = Voter::new();
         let trials = 30_000;
-        let blue = (0..trials).filter(|_| p.update(&ctx, &mut rng).is_blue()).count();
+        let blue = (0..trials)
+            .filter(|_| p.update(&ctx, &mut rng).is_blue())
+            .count();
         let observed = blue as f64 / trials as f64;
         let expected = blue_count as f64 / (n - 1) as f64;
         assert!((observed - expected).abs() < 0.01, "observed {observed}");

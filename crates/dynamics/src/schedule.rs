@@ -8,10 +8,11 @@
 use serde::{Deserialize, Serialize};
 
 /// When vertices read each other's opinions within a round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Schedule {
     /// All vertices update simultaneously from the previous round's snapshot
     /// (the paper's model).
+    #[default]
     Synchronous,
     /// Vertices update one at a time in a fresh uniformly random order each
     /// round, each reading the *current* (partially updated) state.
@@ -30,12 +31,6 @@ impl Schedule {
     /// `true` for the paper's synchronous model.
     pub fn is_synchronous(&self) -> bool {
         matches!(self, Schedule::Synchronous)
-    }
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Synchronous
     }
 }
 

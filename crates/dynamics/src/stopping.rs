@@ -137,7 +137,10 @@ mod tests {
         cfg.set(0, Opinion::Red);
         cfg.set(1, Opinion::Red);
         // 3/10 <= 0.3
-        assert_eq!(cond.should_stop(&cfg, 1), Some(StopReason::BlueFractionFloor));
+        assert_eq!(
+            cond.should_stop(&cfg, 1),
+            Some(StopReason::BlueFractionFloor)
+        );
     }
 
     #[test]

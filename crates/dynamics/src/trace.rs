@@ -46,7 +46,9 @@ pub struct Trace {
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
-        Trace { records: Vec::new() }
+        Trace {
+            records: Vec::new(),
+        }
     }
 
     /// Records the state of `config` as round `round`.

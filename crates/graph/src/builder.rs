@@ -27,7 +27,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder and pre-allocates room for `m` edges.
@@ -69,10 +72,16 @@ impl GraphBuilder {
     /// (generators) that do not want to thread ownership through `?`.
     pub fn push_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -166,7 +175,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_vertex() {
         let err = GraphBuilder::new(2).add_edge(0, 2).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 2, n: 2 }
+        ));
     }
 
     #[test]
@@ -189,7 +201,11 @@ mod tests {
 
     #[test]
     fn isolated_vertices_have_zero_degree() {
-        let g = GraphBuilder::new(4).add_edge(0, 1).unwrap().build().unwrap();
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         assert_eq!(g.degree(2), 0);
         assert_eq!(g.degree(3), 0);
         assert_eq!(g.neighbours(3), &[] as &[usize]);

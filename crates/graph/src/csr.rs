@@ -36,7 +36,11 @@ impl CsrGraph {
     pub fn from_csr(n: usize, offsets: Vec<usize>, neighbours: Vec<VertexId>) -> Result<Self> {
         if offsets.len() != n + 1 {
             return Err(GraphError::InvalidParameter {
-                reason: format!("offsets must have length n+1 = {}, got {}", n + 1, offsets.len()),
+                reason: format!(
+                    "offsets must have length n+1 = {}, got {}",
+                    n + 1,
+                    offsets.len()
+                ),
             });
         }
         if offsets[0] != 0 || offsets[n] != neighbours.len() {
@@ -65,13 +69,19 @@ impl CsrGraph {
                 }
             }
         }
-        let g = CsrGraph { n, offsets, neighbours };
+        let g = CsrGraph {
+            n,
+            offsets,
+            neighbours,
+        };
         // Symmetry check: every edge must appear in both directions.
         for v in 0..n {
             for &w in g.neighbours(v) {
                 if !g.has_edge(w, v) {
                     return Err(GraphError::InvalidParameter {
-                        reason: format!("adjacency not symmetric: {v}->{w} present but {w}->{v} missing"),
+                        reason: format!(
+                            "adjacency not symmetric: {v}->{w} present but {w}->{v} missing"
+                        ),
                     });
                 }
             }
@@ -90,7 +100,11 @@ impl CsrGraph {
     ) -> Self {
         debug_assert_eq!(offsets.len(), n + 1);
         debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbours.len());
-        CsrGraph { n, offsets, neighbours }
+        CsrGraph {
+            n,
+            offsets,
+            neighbours,
+        }
     }
 
     /// Number of vertices.
@@ -209,7 +223,10 @@ impl CsrGraph {
         ids.dedup();
         for &v in &ids {
             if v >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    n: self.n,
+                });
             }
         }
         let mut old_to_new = vec![usize::MAX; self.n];
@@ -329,7 +346,10 @@ mod tests {
     #[test]
     fn from_csr_rejects_out_of_range_neighbour() {
         let err = CsrGraph::from_csr(2, vec![0, 1, 2], vec![5, 0]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]

@@ -49,8 +49,11 @@ impl DegreeStats {
         } else {
             (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
         };
-        let variance =
-            degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let variance = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         Ok(DegreeStats {
             n,
             m: graph.num_edges(),
@@ -144,7 +147,7 @@ pub fn is_graphical(sequence: &[usize]) -> bool {
         return false;
     }
     let total: usize = d.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     // Erdős–Gallai inequalities with prefix sums.
@@ -232,7 +235,11 @@ mod tests {
     fn alpha_undefined_for_single_vertex_or_isolated() {
         let g = GraphBuilder::new(1).build().unwrap();
         assert_eq!(DegreeStats::of(&g).unwrap().alpha(), None);
-        let g2 = GraphBuilder::new(3).add_edge(0, 1).unwrap().build().unwrap();
+        let g2 = GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         assert_eq!(DegreeStats::of(&g2).unwrap().alpha(), None);
     }
 

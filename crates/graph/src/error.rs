@@ -52,10 +52,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid parameter: {reason}")
@@ -95,7 +101,10 @@ mod tests {
     #[test]
     fn display_vertex_out_of_range() {
         let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
-        assert_eq!(e.to_string(), "vertex 7 out of range for graph with 5 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex 7 out of range for graph with 5 vertices"
+        );
     }
 
     #[test]

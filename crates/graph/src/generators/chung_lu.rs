@@ -24,7 +24,7 @@ pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Result<CsrGrap
     }
     let mut total = 0.0f64;
     for (i, &w) in weights.iter().enumerate() {
-        if !(w >= 0.0) || !w.is_finite() {
+        if !w.is_finite() || w < 0.0 {
             return Err(GraphError::InvalidParameter {
                 reason: format!("weight {i} is negative or non-finite: {w}"),
             });
@@ -66,7 +66,9 @@ pub fn power_law_weights(
             reason: format!("power-law exponent must exceed 1, got {gamma}"),
         });
     }
-    if !(min_weight > 0.0) || !(max_weight >= min_weight) {
+    // NaN weights fail both comparisons and are rejected here too.
+    let bounds_valid = min_weight > 0.0 && max_weight >= min_weight;
+    if !bounds_valid {
         return Err(GraphError::InvalidParameter {
             reason: format!("need 0 < min_weight <= max_weight, got [{min_weight}, {max_weight}]"),
         });
@@ -126,7 +128,11 @@ mod tests {
         weights[0] = 120.0;
         let g = chung_lu(&weights, &mut rng).unwrap();
         let avg = g.average_degree();
-        assert!(g.degree(0) as f64 > 4.0 * avg, "hub degree {} vs avg {avg}", g.degree(0));
+        assert!(
+            g.degree(0) as f64 > 4.0 * avg,
+            "hub degree {} vs avg {avg}",
+            g.degree(0)
+        );
     }
 
     #[test]
@@ -141,10 +147,13 @@ mod tests {
         let w = power_law_weights(1000, 2.5, 3.0, 50.0).unwrap();
         assert_eq!(w.len(), 1000);
         for &x in &w {
-            assert!(x >= 3.0 - 1e-9 && x <= 50.0 + 1e-9);
+            assert!((3.0 - 1e-9..=50.0 + 1e-9).contains(&x));
         }
         // With gamma > 1 and increasing quantile the weights are monotone.
-        assert!(w.windows(2).all(|p| p[0] <= p[1] + 1e-12) || w.windows(2).all(|p| p[0] >= p[1] - 1e-12));
+        assert!(
+            w.windows(2).all(|p| p[0] <= p[1] + 1e-12)
+                || w.windows(2).all(|p| p[0] >= p[1] - 1e-12)
+        );
     }
 
     #[test]

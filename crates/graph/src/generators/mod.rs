@@ -22,7 +22,7 @@ pub use chung_lu::{chung_lu, power_law_weights};
 pub use classic::{complete_bipartite, cycle, path, star, wheel};
 pub use complete::complete;
 pub use core_periphery::core_periphery;
-pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp, dense_gnp_for_alpha};
+pub use erdos_renyi::{dense_gnp_for_alpha, erdos_renyi_gnm, erdos_renyi_gnp};
 pub use grid::{grid_2d, torus_2d};
 pub use hypercube::hypercube;
 pub use regular::random_regular;
@@ -60,7 +60,12 @@ pub enum GraphSpec {
     /// Random `d`-regular graph.
     RandomRegular { n: usize, d: usize },
     /// Chung–Lu graph with power-law expected degrees.
-    ChungLuPowerLaw { n: usize, exponent: f64, min_weight: f64, max_weight: f64 },
+    ChungLuPowerLaw {
+        n: usize,
+        exponent: f64,
+        min_weight: f64,
+        max_weight: f64,
+    },
     /// Hypercube of the given dimension (`n = 2^dim`).
     Hypercube { dim: usize },
     /// 2-dimensional torus (`rows x cols`).
@@ -68,11 +73,20 @@ pub enum GraphSpec {
     /// 2-dimensional grid (`rows x cols`), no wrap-around.
     Grid2d { rows: usize, cols: usize },
     /// Planted partition model with `blocks` equal blocks.
-    PlantedPartition { n: usize, blocks: usize, p_in: f64, p_out: f64 },
+    PlantedPartition {
+        n: usize,
+        blocks: usize,
+        p_in: f64,
+        p_out: f64,
+    },
     /// Barbell: two cliques of size `clique` joined by a path of `bridge` vertices.
     Barbell { clique: usize, bridge: usize },
     /// Core–periphery: dense core of `core` vertices, `periphery` satellite vertices.
-    CorePeriphery { core: usize, periphery: usize, attach: usize },
+    CorePeriphery {
+        core: usize,
+        periphery: usize,
+        attach: usize,
+    },
 }
 
 impl GraphSpec {
@@ -90,20 +104,30 @@ impl GraphSpec {
             GraphSpec::ErdosRenyiGnm { n, m } => erdos_renyi_gnm(n, m, rng),
             GraphSpec::DenseForAlpha { n, alpha } => dense_gnp_for_alpha(n, alpha, rng),
             GraphSpec::RandomRegular { n, d } => random_regular(n, d, rng),
-            GraphSpec::ChungLuPowerLaw { n, exponent, min_weight, max_weight } => {
+            GraphSpec::ChungLuPowerLaw {
+                n,
+                exponent,
+                min_weight,
+                max_weight,
+            } => {
                 let weights = power_law_weights(n, exponent, min_weight, max_weight)?;
                 chung_lu(&weights, rng)
             }
             GraphSpec::Hypercube { dim } => hypercube(dim),
             GraphSpec::Torus2d { rows, cols } => torus_2d(rows, cols),
             GraphSpec::Grid2d { rows, cols } => grid_2d(rows, cols),
-            GraphSpec::PlantedPartition { n, blocks, p_in, p_out } => {
-                planted_partition(n, blocks, p_in, p_out, rng)
-            }
+            GraphSpec::PlantedPartition {
+                n,
+                blocks,
+                p_in,
+                p_out,
+            } => planted_partition(n, blocks, p_in, p_out, rng),
             GraphSpec::Barbell { clique, bridge } => barbell(clique, bridge),
-            GraphSpec::CorePeriphery { core, periphery, attach } => {
-                core_periphery(core, periphery, attach, rng)
-            }
+            GraphSpec::CorePeriphery {
+                core,
+                periphery,
+                attach,
+            } => core_periphery(core, periphery, attach, rng),
         }
     }
 
@@ -126,11 +150,22 @@ impl GraphSpec {
             GraphSpec::Hypercube { dim } => format!("hypercube(dim={dim})"),
             GraphSpec::Torus2d { rows, cols } => format!("torus({rows}x{cols})"),
             GraphSpec::Grid2d { rows, cols } => format!("grid({rows}x{cols})"),
-            GraphSpec::PlantedPartition { n, blocks, p_in, p_out } => {
+            GraphSpec::PlantedPartition {
+                n,
+                blocks,
+                p_in,
+                p_out,
+            } => {
                 format!("planted_partition(n={n},k={blocks},p_in={p_in},p_out={p_out})")
             }
-            GraphSpec::Barbell { clique, bridge } => format!("barbell(clique={clique},bridge={bridge})"),
-            GraphSpec::CorePeriphery { core, periphery, attach } => {
+            GraphSpec::Barbell { clique, bridge } => {
+                format!("barbell(clique={clique},bridge={bridge})")
+            }
+            GraphSpec::CorePeriphery {
+                core,
+                periphery,
+                attach,
+            } => {
                 format!("core_periphery(core={core},periphery={periphery},attach={attach})")
             }
         }
@@ -157,17 +192,38 @@ mod tests {
             GraphSpec::ErdosRenyiGnm { n: 40, m: 100 },
             GraphSpec::DenseForAlpha { n: 100, alpha: 0.7 },
             GraphSpec::RandomRegular { n: 30, d: 4 },
-            GraphSpec::ChungLuPowerLaw { n: 50, exponent: 2.5, min_weight: 3.0, max_weight: 20.0 },
+            GraphSpec::ChungLuPowerLaw {
+                n: 50,
+                exponent: 2.5,
+                min_weight: 3.0,
+                max_weight: 20.0,
+            },
             GraphSpec::Hypercube { dim: 4 },
             GraphSpec::Torus2d { rows: 5, cols: 6 },
             GraphSpec::Grid2d { rows: 5, cols: 6 },
-            GraphSpec::PlantedPartition { n: 40, blocks: 4, p_in: 0.6, p_out: 0.1 },
-            GraphSpec::Barbell { clique: 8, bridge: 2 },
-            GraphSpec::CorePeriphery { core: 10, periphery: 20, attach: 3 },
+            GraphSpec::PlantedPartition {
+                n: 40,
+                blocks: 4,
+                p_in: 0.6,
+                p_out: 0.1,
+            },
+            GraphSpec::Barbell {
+                clique: 8,
+                bridge: 2,
+            },
+            GraphSpec::CorePeriphery {
+                core: 10,
+                periphery: 20,
+                attach: 3,
+            },
         ];
         for spec in specs {
             let g = spec.generate(&mut rng).unwrap();
-            assert!(g.num_vertices() > 0, "{} produced an empty graph", spec.label());
+            assert!(
+                g.num_vertices() > 0,
+                "{} produced an empty graph",
+                spec.label()
+            );
             assert!(!spec.label().is_empty());
         }
     }
@@ -175,7 +231,9 @@ mod tests {
     #[test]
     fn labels_mention_key_parameters() {
         assert!(GraphSpec::Complete { n: 9 }.label().contains("n=9"));
-        assert!(GraphSpec::RandomRegular { n: 10, d: 3 }.label().contains("d=3"));
+        assert!(GraphSpec::RandomRegular { n: 10, d: 3 }
+            .label()
+            .contains("d=3"));
         assert!(GraphSpec::Hypercube { dim: 5 }.label().contains("dim=5"));
     }
 }

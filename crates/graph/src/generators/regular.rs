@@ -33,7 +33,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
             reason: format!("regular graph needs d < n, got d={d}, n={n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::Unrealizable {
             reason: format!("n*d must be even, got n={n}, d={d}"),
         });
@@ -69,7 +69,13 @@ fn try_pairing<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Vec<(
     }
     let mut edges: Vec<(usize, usize)> = stubs
         .chunks_exact(2)
-        .map(|c| if c[0] < c[1] { (c[0], c[1]) } else { (c[1], c[0]) })
+        .map(|c| {
+            if c[0] < c[1] {
+                (c[0], c[1])
+            } else {
+                (c[1], c[0])
+            }
+        })
         .collect();
 
     // Repair loop: replace self-loops and parallel edges by double-edge swaps.
@@ -166,7 +172,10 @@ mod tests {
         for v in g.vertices() {
             let row = g.neighbours(v);
             assert!(!row.contains(&v), "self-loop at {v}");
-            assert!(row.windows(2).all(|w| w[0] < w[1]), "duplicate neighbour at {v}");
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "duplicate neighbour at {v}"
+            );
         }
     }
 

@@ -28,15 +28,14 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
             reason: format!("probability matrix must be {k}x{k}"),
         });
     }
-    for i in 0..k {
-        for j in 0..k {
-            let p = probs[i][j];
+    for (i, row) in probs.iter().enumerate() {
+        for (j, &p) in row.iter().enumerate() {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(GraphError::InvalidParameter {
                     reason: format!("probability ({i},{j}) = {p} outside [0,1]"),
                 });
             }
-            if (probs[i][j] - probs[j][i]).abs() > 1e-12 {
+            if (p - probs[j][i]).abs() > 1e-12 {
                 return Err(GraphError::InvalidParameter {
                     reason: format!("probability matrix not symmetric at ({i},{j})"),
                 });
@@ -48,7 +47,7 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     // block_of[v] and the starting offset of each block.
     let mut block_of = Vec::with_capacity(n);
     for (b, &size) in block_sizes.iter().enumerate() {
-        block_of.extend(std::iter::repeat(b).take(size));
+        block_of.extend(std::iter::repeat_n(b, size));
     }
 
     let mut builder = GraphBuilder::new(n);
@@ -73,7 +72,7 @@ pub fn planted_partition<R: Rng + ?Sized>(
     p_out: f64,
     rng: &mut R,
 ) -> Result<CsrGraph> {
-    if blocks == 0 || n % blocks != 0 {
+    if blocks == 0 || !n.is_multiple_of(blocks) {
         return Err(GraphError::InvalidParameter {
             reason: format!("blocks ({blocks}) must be positive and divide n ({n})"),
         });
@@ -163,12 +162,8 @@ mod tests {
     #[test]
     fn heterogeneous_block_sizes() {
         let mut rng = StdRng::seed_from_u64(4);
-        let g = stochastic_block_model(
-            &[10, 30],
-            &[vec![1.0, 0.0], vec![0.0, 0.0]],
-            &mut rng,
-        )
-        .unwrap();
+        let g =
+            stochastic_block_model(&[10, 30], &[vec![1.0, 0.0], vec![0.0, 0.0]], &mut rng).unwrap();
         assert_eq!(g.num_vertices(), 40);
         assert_eq!(g.num_edges(), 45); // only the small block is a clique
     }

@@ -94,9 +94,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
     if graph.num_edges() != declared_edges && seen_edges != declared_edges {
         return Err(GraphError::Parse {
             line: 0,
-            reason: format!(
-                "header declared {declared_edges} edges but {seen_edges} were listed"
-            ),
+            reason: format!("header declared {declared_edges} edges but {seen_edges} were listed"),
         });
     }
     Ok(graph)

@@ -113,9 +113,7 @@ pub fn degeneracy(graph: &CsrGraph) -> (usize, Vec<usize>) {
     let mut cursor = 0usize;
     for _ in 0..n {
         // Find the lowest non-empty bucket at or below the search cursor.
-        if cursor > 0 {
-            cursor -= 1;
-        }
+        cursor = cursor.saturating_sub(1);
         let v = loop {
             while cursor <= max_deg && buckets[cursor].is_empty() {
                 cursor += 1;

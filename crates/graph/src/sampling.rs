@@ -113,7 +113,7 @@ impl AliasTable {
         }
         let mut total = 0.0f64;
         for (i, &w) in weights.iter().enumerate() {
-            if !(w >= 0.0) || !w.is_finite() {
+            if !w.is_finite() || w < 0.0 {
                 return Err(GraphError::InvalidParameter {
                     reason: format!("weight {i} is negative or non-finite: {w}"),
                 });
@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn sampler_rejects_isolated_vertices() {
-        let g = GraphBuilder::new(3).add_edge(0, 1).unwrap().build().unwrap();
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         let err = NeighbourSampler::new(&g).unwrap_err();
         assert!(matches!(err, GraphError::IsolatedVertex { vertex: 2 }));
     }
@@ -225,7 +229,10 @@ mod tests {
         assert_eq!(counts[0], 0, "centre must never sample itself");
         let expected = trials as f64 / 100.0;
         for &c in &counts[1..] {
-            assert!((c as f64 - expected).abs() < expected * 0.25, "count {c} vs {expected}");
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.25,
+                "count {c} vs {expected}"
+            );
         }
     }
 

@@ -109,7 +109,9 @@ fn half_walk_dominant<R: Rng + ?Sized>(
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
     project(&mut x);
     if pi_norm(&x) <= f64::EPSILON {
-        x = (0..n).map(|v| if v % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        x = (0..n)
+            .map(|v| if v % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         project(&mut x);
     }
     let norm = pi_norm(&x).max(f64::MIN_POSITIVE);
@@ -129,8 +131,8 @@ fn half_walk_dominant<R: Rng + ?Sized>(
             // No mass outside the stationary eigenspace: operator is zero there.
             return mu.max(0.0);
         }
-        for v in 0..n {
-            qx[v] /= norm;
+        for q in qx.iter_mut() {
+            *q /= norm;
         }
         std::mem::swap(&mut x, &mut qx);
         if (mu - mu_prev).abs() < opts.tolerance {

@@ -43,7 +43,11 @@ pub fn bfs(graph: &CsrGraph, source: VertexId) -> Result<BfsResult> {
             }
         }
     }
-    Ok(BfsResult { dist, parent, order })
+    Ok(BfsResult {
+        dist,
+        parent,
+        order,
+    })
 }
 
 /// Connected components; returns `(component_id_per_vertex, component_count)`.
@@ -173,7 +177,11 @@ mod tests {
 
     #[test]
     fn bfs_marks_unreachable_vertices() {
-        let g = GraphBuilder::new(4).add_edge(0, 1).unwrap().build().unwrap();
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         let r = bfs(&g, 0).unwrap();
         assert_eq!(r.dist[2], usize::MAX);
         assert_eq!(r.dist[3], usize::MAX);
@@ -234,7 +242,11 @@ mod tests {
 
     #[test]
     fn diameter_errors_on_disconnected() {
-        let g = GraphBuilder::new(4).add_edge(0, 1).unwrap().build().unwrap();
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(diameter_exact(&g).is_err());
     }
 

@@ -124,7 +124,11 @@ mod tests {
     fn tail_and_cdf_are_complementary() {
         for k in 0..=6u64 {
             let tail = binomial_tail_geq(6, k, 0.3);
-            let cdf = if k == 0 { 0.0 } else { binomial_cdf(6, k - 1, 0.3) };
+            let cdf = if k == 0 {
+                0.0
+            } else {
+                binomial_cdf(6, k - 1, 0.3)
+            };
             assert!(close(tail + cdf, 1.0, 1e-12), "k = {k}");
         }
     }
@@ -160,7 +164,11 @@ mod tests {
     #[test]
     fn best_of_k_odd_reduces_to_best_of_three() {
         for &p in &[0.2, 0.5, 0.7] {
-            assert!(close(best_of_k_blue_odd(3, p), best_of_three_blue(p), 1e-12));
+            assert!(close(
+                best_of_k_blue_odd(3, p),
+                best_of_three_blue(p),
+                1e-12
+            ));
         }
     }
 
@@ -199,7 +207,10 @@ mod tests {
         for a in [20.0, 25.0, 30.0, 40.0] {
             let exact = binomial_tail_geq(n, a as u64, p);
             let bound = chernoff_upper_tail(n, p, a);
-            assert!(bound + 1e-12 >= exact, "a = {a}: bound {bound} < exact {exact}");
+            assert!(
+                bound + 1e-12 >= exact,
+                "a = {a}: bound {bound} < exact {exact}"
+            );
         }
     }
 

@@ -45,7 +45,10 @@ pub struct PhasePlan {
 impl PhasePlan {
     /// Total voting-DAG height `T` required by the plan.
     pub fn total_levels(&self) -> usize {
-        self.t3_bias_amplification + self.t2_quadratic_decay + self.t1_final_step + self.upper_levels
+        self.t3_bias_amplification
+            + self.t2_quadratic_decay
+            + self.t1_final_step
+            + self.upper_levels
     }
 
     /// The level `T'` splitting the lower-level analysis (Section 3) from the
@@ -62,7 +65,9 @@ impl PhasePlan {
 /// the experiments here).  Returns `None` for degenerate inputs
 /// (`d ≤ e`, `δ ≤ 0`, or `δ ≥ 1/2`).
 pub fn phase_plan(d: f64, delta: f64, a: f64) -> Option<PhasePlan> {
-    if !(d > std::f64::consts::E) || !(delta > 0.0) || delta >= 0.5 || !(a > 0.0) {
+    // NaN inputs fail the positive comparisons and are rejected too.
+    let inputs_valid = d > std::f64::consts::E && delta > 0.0 && delta < 0.5 && a > 0.0;
+    if !inputs_valid {
         return None;
     }
     let target = phase_one_bias_target();
@@ -107,7 +112,8 @@ pub fn phase_plan(d: f64, delta: f64, a: f64) -> Option<PhasePlan> {
 /// (constant-bearing) version used to size the experiments:
 /// `T(n, α, δ) = total_levels` of the [`phase_plan`] with `d = n^α`.
 pub fn predicted_consensus_rounds(n: f64, alpha: f64, delta: f64, a: f64) -> Option<usize> {
-    if !(n > 1.0) || !(alpha > 0.0) {
+    let inputs_valid = n > 1.0 && alpha > 0.0;
+    if !inputs_valid {
         return None;
     }
     let d = n.powf(alpha);

@@ -138,7 +138,11 @@ mod tests {
         // dense instances; n = 1e12 with alpha = 0.95 is such a point.
         let p = predict(1e12, 0.95, 0.1, 2.0);
         assert!(p.in_theorem_regime);
-        assert!(p.single_vertex_blue_bound < 1e-7, "bound {}", p.single_vertex_blue_bound);
+        assert!(
+            p.single_vertex_blue_bound < 1e-7,
+            "bound {}",
+            p.single_vertex_blue_bound
+        );
         assert!(all_red_failure_bound(&p) < 1e-1);
     }
 

@@ -205,7 +205,10 @@ mod tests {
         // this is exactly why the theorem needs d = n^{Ω(1/ log log n)}.
         let traj = sprinkling_trajectory(0.05, 12, 20.0);
         let last = *traj.p.last().unwrap();
-        assert!(last > 0.1, "final blue probability {last} unexpectedly small");
+        assert!(
+            last > 0.1,
+            "final blue probability {last} unexpectedly small"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ fn main() {
             .map(|r| r.to_string())
             .unwrap_or_else(|| "-".into())
     );
-    println!("  total              : {} rounds, winner: {:?}", observed.total_rounds, run.winner);
+    println!(
+        "  total              : {} rounds, winner: {:?}",
+        observed.total_rounds, run.winner
+    );
 
     if let Some(plan) = phase_plan((n - 1) as f64, delta, 2.0) {
         println!();

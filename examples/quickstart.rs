@@ -21,7 +21,10 @@ fn main() {
     let seed = args.get_or("seed", 1u64);
 
     banner("Best-of-Three voting on a dense graph (Theorem 1)");
-    println!("n = {n}, target degree n^{alpha} ≈ {:.0}, delta = {delta}", (n as f64).powf(alpha));
+    println!(
+        "n = {n}, target degree n^{alpha} ≈ {:.0}, delta = {delta}",
+        (n as f64).powf(alpha)
+    );
 
     let experiment = Experiment::theorem_one(
         format!("quickstart/n={n}"),
@@ -59,8 +62,12 @@ fn main() {
             "paper prediction: within-theorem-regime = {}, proof-constant bound ≈ {} rounds, \
              idealised (eq. 1) reference ≈ {} rounds",
             pred.in_theorem_regime,
-            pred.predicted_rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
-            pred.ideal_rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            pred.predicted_rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
+            pred.ideal_rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
     }
 

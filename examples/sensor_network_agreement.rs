@@ -60,7 +60,10 @@ fn main() {
 
     let mesh = agreement_on(
         "sensors/torus-mesh",
-        GraphSpec::Torus2d { rows: side, cols: side },
+        GraphSpec::Torus2d {
+            rows: side,
+            cols: side,
+        },
         delta,
         replicas,
         seed,
@@ -77,7 +80,10 @@ fn main() {
     println!(
         "torus mesh (degree 4)        : correct consensus in {:.0}% of replicas, {}",
         mesh.red_win_rate().unwrap_or(0.0) * 100.0,
-        rounds_with_spread(mesh.mean_rounds(), mesh.report.rounds_to_consensus.as_ref().map(|s| s.p90))
+        rounds_with_spread(
+            mesh.mean_rounds(),
+            mesh.report.rounds_to_consensus.as_ref().map(|s| s.p90)
+        )
     );
     println!(
         "dense overlay (degree {d:>4}) : correct consensus in {:.0}% of replicas, {}",

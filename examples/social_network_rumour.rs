@@ -79,12 +79,18 @@ fn main() {
     println!(
         "best-of-3 : majority (red) won {:.0}% of replicas, {}",
         bo3.red_win_rate().unwrap_or(0.0) * 100.0,
-        rounds_with_spread(bo3.mean_rounds(), bo3.report.rounds_to_consensus.as_ref().map(|s| s.p90))
+        rounds_with_spread(
+            bo3.mean_rounds(),
+            bo3.report.rounds_to_consensus.as_ref().map(|s| s.p90)
+        )
     );
     println!(
         "voter     : majority (red) won {:.0}% of replicas, {}",
         voter.red_win_rate().unwrap_or(0.0) * 100.0,
-        rounds_with_spread(voter.mean_rounds(), voter.report.rounds_to_consensus.as_ref().map(|s| s.p90))
+        rounds_with_spread(
+            voter.mean_rounds(),
+            voter.report.rounds_to_consensus.as_ref().map(|s| s.p90)
+        )
     );
 
     // Adversarial seeding: the same number of blue vertices, but placed on the
@@ -105,7 +111,11 @@ fn main() {
         influencers.red_win_rate().unwrap_or(0.0) * 100.0,
         rounds_with_spread(
             influencers.mean_rounds(),
-            influencers.report.rounds_to_consensus.as_ref().map(|s| s.p90)
+            influencers
+                .report
+                .rounds_to_consensus
+                .as_ref()
+                .map(|s| s.p90)
         )
     );
     println!(
@@ -114,9 +124,6 @@ fn main() {
     );
 
     println!();
-    let table = results_table(
-        "Social-network scenario",
-        &[bo3, voter, influencers],
-    );
+    let table = results_table("Social-network scenario", &[bo3, voter, influencers]);
     println!("{}", table.to_pretty_string());
 }

@@ -16,14 +16,9 @@ pub struct Args {
     values: HashMap<String, String>,
 }
 
-impl Args {
-    /// Parses the process arguments (skipping the binary name).
-    pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
-    /// Parses an explicit iterator of arguments (used by tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+/// Parses an explicit sequence of `--key value` arguments.
+impl FromIterator<String> for Args {
+    fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut values = HashMap::new();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
@@ -36,6 +31,13 @@ impl Args {
             }
         }
         Args { values }
+    }
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        std::env::args().skip(1).collect()
     }
 
     /// Returns the value of `key` parsed as `T`, or `default` when absent or

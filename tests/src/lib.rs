@@ -20,9 +20,12 @@ pub fn dense_scenario(n: usize, seed: u64) -> (CsrGraph, f64) {
 
 /// A canonical "outside Theorem 1" scenario: a constant-degree torus.
 pub fn sparse_scenario(side: usize) -> CsrGraph {
-    GraphSpec::Torus2d { rows: side, cols: side }
-        .generate(&mut StdRng::seed_from_u64(0))
-        .expect("torus generation")
+    GraphSpec::Torus2d {
+        rows: side,
+        cols: side,
+    }
+    .generate(&mut StdRng::seed_from_u64(0))
+    .expect("torus generation")
 }
 
 /// Runs a single traced Best-of-Three trajectory from the paper's initial

@@ -19,7 +19,9 @@ fn best_of_two_and_three_are_comparable() {
     let (graph, delta) = dense_scenario(2_000, 2);
     let bo2 = mean_consensus_time(
         &graph,
-        ProtocolSpec::BestOfTwo { tie_rule: TieRule::KeepOwn },
+        ProtocolSpec::BestOfTwo {
+            tie_rule: TieRule::KeepOwn,
+        },
         delta,
         4,
         2,
@@ -34,7 +36,9 @@ fn local_majority_is_the_speed_limit() {
     let (graph, delta) = dense_scenario(2_000, 3);
     let majority = mean_consensus_time(
         &graph,
-        ProtocolSpec::LocalMajority { tie_rule: TieRule::KeepOwn },
+        ProtocolSpec::LocalMajority {
+            tie_rule: TieRule::KeepOwn,
+        },
         delta,
         4,
         3,
@@ -98,7 +102,13 @@ fn sampling_without_replacement_changes_little_on_dense_graphs() {
     let blue_share = 0.4;
     let blue_count = (2_000.0 * blue_share) as usize;
     let opinions: Vec<Opinion> = (0..2_000)
-        .map(|v| if v < blue_count { Opinion::Blue } else { Opinion::Red })
+        .map(|v| {
+            if v < blue_count {
+                Opinion::Blue
+            } else {
+                Opinion::Red
+            }
+        })
         .collect();
     let trials = 20_000;
     let mut with_repl_blue = 0usize;

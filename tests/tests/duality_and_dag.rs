@@ -21,7 +21,13 @@ fn duality_holds_on_generated_dense_and_sparse_graphs() {
     ];
     for spec in cases {
         let graph = spec.generate(&mut rng).unwrap();
-        let check = DualityCheck { vertex: 1, rounds: 3, p_blue: 0.4, trials: 2_500, seed: 11 };
+        let check = DualityCheck {
+            vertex: 1,
+            rounds: 3,
+            p_blue: 0.4,
+            trials: 2_500,
+            seed: 11,
+        };
         let report = check.run(&graph).unwrap();
         assert!(
             report.consistent(),
@@ -40,7 +46,10 @@ fn sprinkling_coupling_holds_on_every_generated_family() {
         GraphSpec::Cycle { n: 9 },
         GraphSpec::Complete { n: 7 },
         GraphSpec::Hypercube { dim: 3 },
-        GraphSpec::Barbell { clique: 4, bridge: 1 },
+        GraphSpec::Barbell {
+            clique: 4,
+            bridge: 1,
+        },
     ];
     for spec in specs {
         let graph = spec.generate(&mut rng).unwrap();
@@ -49,7 +58,13 @@ fn sprinkling_coupling_holds_on_every_generated_family() {
             let sprinkled = sprinkle(&dag, 4).unwrap();
             assert!(sprinkled.is_collision_free(), "{}", spec.label());
             let leaves: Vec<Opinion> = (0..dag.num_leaves())
-                .map(|_| if rng.gen::<f64>() < 0.45 { Opinion::Blue } else { Opinion::Red })
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.45 {
+                        Opinion::Blue
+                    } else {
+                        Opinion::Red
+                    }
+                })
                 .collect();
             let base = colour_dag(&dag, &leaves).unwrap();
             let prime = sprinkled.colour(&leaves).unwrap();
@@ -93,8 +108,18 @@ fn dag_estimate_tracks_the_forward_minority_extinction() {
     let graph = GraphSpec::Complete { n: 600 }
         .generate(&mut StdRng::seed_from_u64(4))
         .unwrap();
-    let check = DualityCheck { vertex: 0, rounds: 8, p_blue: 0.35, trials: 400, seed: 21 };
+    let check = DualityCheck {
+        vertex: 0,
+        rounds: 8,
+        p_blue: 0.35,
+        trials: 400,
+        seed: 21,
+    };
     let report = check.run(&graph).unwrap();
-    assert!(report.forward_estimate < 0.02, "forward {}", report.forward_estimate);
+    assert!(
+        report.forward_estimate < 0.02,
+        "forward {}",
+        report.forward_estimate
+    );
     assert!(report.dag_estimate < 0.02, "dag {}", report.dag_estimate);
 }

@@ -7,7 +7,7 @@ use bo3_dag::colouring::colour_dag;
 use bo3_dag::sprinkling::sprinkle;
 use bo3_dag::voting_dag::VotingDag;
 use bo3_theory::binomial::{best_of_k_blue_odd, best_of_three_blue};
-use bo3_theory::recursion::{sprinkling_step, ideal_step};
+use bo3_theory::recursion::{ideal_step, sprinkling_step};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,12 +23,13 @@ fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
         (1usize..7).prop_map(|dim| GraphSpec::Hypercube { dim }),
         (3usize..8, 3usize..8).prop_map(|(r, c)| GraphSpec::Torus2d { rows: r, cols: c }),
         (3usize..10, 0usize..4).prop_map(|(clique, bridge)| GraphSpec::Barbell { clique, bridge }),
-        (2usize..20, 1usize..30, 1usize..3)
-            .prop_map(|(core, periphery, attach)| GraphSpec::CorePeriphery {
+        (2usize..20, 1usize..30, 1usize..3).prop_map(|(core, periphery, attach)| {
+            GraphSpec::CorePeriphery {
                 core,
                 periphery,
                 attach: attach.min(core),
-            }),
+            }
+        }),
     ]
 }
 

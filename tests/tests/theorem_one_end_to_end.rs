@@ -13,7 +13,12 @@ fn dense_graph_reaches_red_consensus_in_a_handful_of_rounds() {
     assert!(run.rounds <= 15, "took {} rounds", run.rounds);
     // The theory side classifies this point as inside the theorem regime.
     let stats = DegreeStats::of(&graph).unwrap();
-    let pred = predict(graph.num_vertices() as f64, stats.alpha().unwrap(), delta, 2.0);
+    let pred = predict(
+        graph.num_vertices() as f64,
+        stats.alpha().unwrap(),
+        delta,
+        2.0,
+    );
     assert!(pred.in_theorem_regime);
 }
 
@@ -74,9 +79,11 @@ fn blue_initial_majority_flips_the_outcome() {
     let sim = Simulator::new(&graph).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     use rand::SeedableRng;
-    let init = InitialCondition::Bernoulli { blue_probability: 0.62 }
-        .sample(&graph, &mut rng)
-        .unwrap();
+    let init = InitialCondition::Bernoulli {
+        blue_probability: 0.62,
+    }
+    .sample(&graph, &mut rng)
+    .unwrap();
     let run = sim.run(&BestOfThree::new(), init, &mut rng).unwrap();
     assert_eq!(run.winner, Some(Opinion::Blue));
 }

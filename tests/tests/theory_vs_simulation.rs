@@ -79,7 +79,10 @@ fn bias_target_is_where_decay_takes_over() {
     let fractions = trace.blue_fractions();
     if let Some(handover) = biases.iter().position(|&d| d >= phase_one_bias_target()) {
         let remaining = fractions.len() - handover;
-        assert!(remaining <= 8, "decay took {remaining} rounds after hand-over");
+        assert!(
+            remaining <= 8,
+            "decay took {remaining} rounds after hand-over"
+        );
     } else {
         panic!("the trajectory never reached the hand-over bias");
     }
@@ -89,12 +92,19 @@ fn bias_target_is_where_decay_takes_over() {
 fn prediction_regime_classification_matches_graph_reality() {
     let mut rng = StdRng::seed_from_u64(8);
     // Dense instance: inside the regime.
-    let dense = GraphSpec::DenseForAlpha { n: 4_000, alpha: 0.8 }.generate(&mut rng).unwrap();
+    let dense = GraphSpec::DenseForAlpha {
+        n: 4_000,
+        alpha: 0.8,
+    }
+    .generate(&mut rng)
+    .unwrap();
     let stats = DegreeStats::of(&dense).unwrap();
     let p = predict(4_000.0, stats.alpha().unwrap(), 0.05, 2.0);
     assert!(p.in_theorem_regime);
     // Constant-degree instance: outside.
-    let torus = GraphSpec::Torus2d { rows: 60, cols: 60 }.generate(&mut rng).unwrap();
+    let torus = GraphSpec::Torus2d { rows: 60, cols: 60 }
+        .generate(&mut rng)
+        .unwrap();
     let stats = DegreeStats::of(&torus).unwrap();
     let p = predict(3_600.0, stats.alpha().unwrap(), 0.05, 2.0);
     assert!(!p.in_theorem_regime);

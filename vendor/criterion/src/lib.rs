@@ -1,0 +1,298 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace's bench
+//! targets link against this shim instead. It mirrors the criterion 0.5
+//! call surface the benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box`) and
+//! reports simple wall-clock statistics (min / mean / max per iteration).
+//! It performs no warm-up modelling, outlier rejection or HTML reporting;
+//! swap in the real criterion for publication-grade numbers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget. Sampling stops at `sample_size`
+/// iterations or when the budget is exhausted, whichever comes first.
+const DEFAULT_MEASUREMENT_TIME: Duration = Duration::from_secs(3);
+
+/// The benchmark manager: configuration plus result reporting.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: DEFAULT_MEASUREMENT_TIME,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores the
+    /// flags cargo and criterion-aware tooling pass (`--bench`, filters);
+    /// present for call-site compatibility with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        };
+        println!("group: {}", group.name);
+        group
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label(), self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares the amount of work per iteration. The shim records nothing
+    /// but keeps call sites source-compatible with the real criterion.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished by parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for throughput-style reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample, until the sample target or the time
+    /// budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget_start = Instant::now();
+        // One untimed warm-up iteration.
+        black_box(f());
+        while self.samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().expect("nonempty");
+    let max = bencher.samples.iter().max().expect("nonempty");
+    println!("  {label}: [{min:?} {mean:?} {max:?}] ({n} samples)");
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-target entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut observed = Vec::new();
+        for &n in &[2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("double", n), &n, |b, &n| {
+                b.iter(|| observed.push(n * 2));
+            });
+        }
+        group.finish();
+        assert!(observed.contains(&4) && observed.contains(&8));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).label(), "9");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

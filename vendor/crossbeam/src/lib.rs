@@ -1,0 +1,64 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace, and since
+//! Rust 1.63 the standard library provides scoped threads natively, so the
+//! shim is a thin adapter over [`std::thread::scope`] that mirrors the
+//! crossbeam calling convention (`scope(|s| ...)` returning a `Result`,
+//! spawn closures receiving the scope as an argument).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 API shape.
+
+    /// Result of a scope: `Err` carries a child-thread panic payload.
+    ///
+    /// The std backend propagates child panics by unwinding in the parent,
+    /// so in practice this shim always returns `Ok`; the type exists so
+    /// call sites written against crossbeam compile unchanged.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; spawn closures receive `&Scope` like in crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, allowing
+        /// nested spawns, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_join_and_share_borrows() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                for x in &data {
+                    s.spawn(|_| total.fetch_add(*x, std::sync::atomic::Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(total.into_inner(), 10);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use — the [`Strategy`] trait (with `prop_map`), range/tuple/`any`
+//! strategies, [`collection::vec`], `prop_oneof!`, `ProptestConfig` and the
+//! `proptest!`/`prop_assert!` macros — over a deterministic RNG seeded per
+//! test from the test's name, so failures reproduce exactly across runs.
+//!
+//! Unlike the real proptest there is **no shrinking** and no failure
+//! persistence: a failing case reports the panic from the offending
+//! iteration directly. Swap in the real crate for minimised counterexamples.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block is run for `ProptestConfig::cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(#[test] fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (deterministic seed; rerun reproduces it)",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Builds a strategy that picks uniformly among the listed strategies,
+/// which must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(x in 1usize..50, y in (0u32..10).prop_map(|v| v * 3)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(y % 3 == 0 && y < 30);
+        }
+
+        #[test]
+        fn tuples_and_collections(v in crate::collection::vec((0usize..5, any::<bool>()), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _flag) in v {
+                prop_assert!(n < 5);
+            }
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(choice in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+    }
+
+    // The no-config form of the macro must expand too.
+    proptest! {
+        #[test]
+        fn no_config_form_compiles(b in any::<bool>()) {
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Test execution configuration and deterministic RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG property tests draw from.
+pub type TestRng = StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; the shim keeps the suite quick.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives a deterministic RNG from a test's name (FNV-1a over the bytes),
+/// so each property test explores its own reproducible input sequence.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rngs_are_name_determined() {
+        let mut a = rng_for_test("alpha");
+        let mut b = rng_for_test("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng_for_test("beta");
+        let mut d = rng_for_test("alpha");
+        d.next_u64();
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+}

@@ -1,0 +1,141 @@
+//! A portable ChaCha implementation backing [`crate::rngs::StdRng`] and the
+//! vendored `rand_chacha` crate.
+//!
+//! The const parameter `DR` is the number of *double rounds*: ChaCha8 uses
+//! 4, ChaCha12 uses 6 and ChaCha20 uses 10.
+
+use crate::{fill_bytes_via_next_u64, RngCore, SeedableRng};
+
+/// A ChaCha block cipher in counter mode, exposed as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DR: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Index of the next unconsumed word in `buffer`; 16 means "refill".
+    index: usize,
+}
+
+/// ChaCha with 8 rounds.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds (the cipher behind [`crate::rngs::StdRng`]).
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DR: usize> ChaChaRng<DR> {
+    /// "expand 32-byte k", the standard ChaCha constant.
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14/15 are the (always-zero) stream id.
+        let input = state;
+        for _ in 0..DR {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buffer.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl<const DR: usize> RngCore for ChaChaRng<DR> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_next_u64(self, dest)
+    }
+}
+
+impl<const DR: usize> SeedableRng for ChaChaRng<DR> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 test vector, section 2.3.2 (ChaCha20 block function), with
+    /// nonce fixed to zero as in our counter-mode layout, checked against
+    /// the first words produced from an all-zero key.
+    #[test]
+    fn chacha20_zero_key_matches_known_stream() {
+        // Known first block of ChaCha20 with zero key, zero nonce, counter 0
+        // (the "keystream for the all-zero case" widely published vector).
+        let expected_head: [u32; 4] = [0xADE0_B876, 0x903D_F1A0, 0xE56A_5D40, 0x28BD_8653];
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        for &want in &expected_head {
+            assert_eq!(rng.next_u32(), want);
+        }
+    }
+
+    #[test]
+    fn blocks_advance_the_counter() {
+        let mut rng = ChaCha8Rng::from_seed([7u8; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn rounds_differentiate_variants() {
+        let seed = [9u8; 32];
+        let mut a = ChaCha8Rng::from_seed(seed);
+        let mut b = ChaCha12Rng::from_seed(seed);
+        assert_ne!(a.next_u32(), b.next_u32());
+    }
+}

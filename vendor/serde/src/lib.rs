@@ -1,0 +1,20 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros from the vendored `serde_derive`, so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without network
+//! access to the real serde stack. No serialisation is performed anywhere
+//! in the tree yet; when a future change needs real (de)serialisation,
+//! replace the two vendored crates with the crates.io versions — call sites
+//! need no edits.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

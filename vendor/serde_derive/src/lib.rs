@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace's types declare `#[derive(Serialize, Deserialize)]` so they
+//! are serialisation-ready, but nothing in the tree performs serialisation
+//! yet and the build environment cannot reach crates.io for the real serde
+//! stack. These derives therefore expand to nothing; swapping the vendored
+//! `serde`/`serde_derive` for the real crates requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
