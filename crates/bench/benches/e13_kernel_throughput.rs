@@ -1,0 +1,116 @@
+//! E13: monomorphized-kernel vs `dyn`-dispatch throughput.
+//!
+//! Times one seeded synchronous Best-of-Three round on the complete graph
+//! `K_{10000}` through both dispatch paths — the plain protocol (kernel
+//! path: bit-packed snapshot, batched Lemire RNG, static dispatch) and a
+//! [`DynOnly`]-wrapped copy (generic `dyn Protocol` / `dyn RngCore` path) —
+//! plus the remaining built-in protocols on the kernel path for context.
+//!
+//! Besides the criterion group, the target writes `BENCH_kernels.json` at
+//! the workspace root: an updates/sec snapshot of both paths so the perf
+//! trajectory is tracked across PRs.  Set `E13_QUICK=1` (the CI bench-smoke
+//! job does) to shrink the measurement to a few hundred milliseconds.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bo3_core::prelude::*;
+
+const N: usize = 10_000;
+const SEED: u64 = 0xE13;
+
+fn quick_mode() -> bool {
+    std::env::var_os("E13_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn scenario() -> (CsrGraph, Configuration) {
+    let graph = bo3_graph::generators::complete(N);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+        .sample(&graph, &mut rng)
+        .expect("init");
+    (graph, init)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_kernel_throughput");
+    group.sample_size(if quick_mode() { 3 } else { 20 });
+    if quick_mode() {
+        group.measurement_time(Duration::from_millis(300));
+    }
+    let (graph, init) = scenario();
+    let sim = Simulator::new(&graph).expect("simulator");
+
+    // The headline pair: Best-of-Three through each dispatch path.
+    group.bench_with_input(BenchmarkId::new("one_round", "bo3-kernel"), &(), |b, ()| {
+        let mut scratch = Vec::new();
+        b.iter(|| sim.step_seeded(&BestOfThree::new(), &init, &mut scratch, SEED, 0));
+    });
+    group.bench_with_input(BenchmarkId::new("one_round", "bo3-dyn"), &(), |b, ()| {
+        let mut scratch = Vec::new();
+        b.iter(|| sim.step_seeded(&DynOnly(BestOfThree::new()), &init, &mut scratch, SEED, 0));
+    });
+
+    // The remaining built-ins on the kernel path, for cross-protocol context.
+    for (label, spec) in comparison_protocols() {
+        group.bench_with_input(BenchmarkId::new("kernel_round", label), &spec, |b, spec| {
+            let protocol = spec.build();
+            let mut scratch = Vec::new();
+            b.iter(|| sim.step_seeded(protocol.as_ref(), &init, &mut scratch, SEED, 0));
+        });
+    }
+    group.finish();
+}
+
+/// Measures whole-rounds-per-second of `step_seeded` for `protocol` and
+/// returns vertex updates per second.
+fn updates_per_sec(sim: &Simulator<'_>, init: &Configuration, protocol: &dyn Protocol) -> f64 {
+    let mut scratch = Vec::new();
+    // Warm-up round (page in the graph, size the buffers).
+    sim.step_seeded(protocol, init, &mut scratch, SEED, 0);
+    let budget = if quick_mode() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(3)
+    };
+    let mut rounds = 0u64;
+    let start = Instant::now();
+    loop {
+        sim.step_seeded(protocol, init, &mut scratch, SEED, rounds);
+        rounds += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (rounds as u128 * N as u128) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Writes the updates/sec snapshot consumed by the perf-trajectory tracking.
+fn write_snapshot() {
+    let (graph, init) = scenario();
+    let sim = Simulator::new(&graph).expect("simulator");
+    let kernel = updates_per_sec(&sim, &init, &BestOfThree::new());
+    let dynamic = updates_per_sec(&sim, &init, &DynOnly(BestOfThree::new()));
+    let speedup = kernel / dynamic;
+    // The vendored serde has no serializer, so the JSON is written by hand.
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_kernel_throughput\",\n  \"protocol\": \"best-of-3\",\n  \
+         \"graph\": \"complete\",\n  \"n\": {N},\n  \"quick_mode\": {quick},\n  \
+         \"dyn_updates_per_sec\": {dynamic:.0},\n  \"kernel_updates_per_sec\": {kernel:.0},\n  \
+         \"kernel_speedup\": {speedup:.2}\n}}\n",
+        quick = quick_mode(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("snapshot ({path}):\n{json}");
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    write_snapshot();
+}

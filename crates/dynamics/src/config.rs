@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::ProtocolKind;
 use crate::protocol::{BestOfK, BestOfThree, BestOfTwo, LocalMajority, Protocol, TieRule, Voter};
 
 /// A serialisable description of a voting protocol.
@@ -49,6 +50,21 @@ impl ProtocolSpec {
     /// The protocol's display name (matches [`Protocol::name`]).
     pub fn name(&self) -> String {
         self.build().name()
+    }
+
+    /// The kernel the described protocol monomorphizes to.
+    ///
+    /// Every spec names a built-in protocol, so — unlike the open-world
+    /// [`Protocol::kind`] — this is total: Monte-Carlo replicas built from a
+    /// spec always run on the kernel path.
+    pub fn kind(&self) -> ProtocolKind {
+        match *self {
+            ProtocolSpec::Voter => ProtocolKind::Voter,
+            ProtocolSpec::BestOfTwo { tie_rule } => ProtocolKind::BestOfTwo(tie_rule),
+            ProtocolSpec::BestOfThree => ProtocolKind::BestOfThree,
+            ProtocolSpec::BestOfK { k, tie_rule } => ProtocolKind::BestOfK { k, tie_rule },
+            ProtocolSpec::LocalMajority { tie_rule } => ProtocolKind::LocalMajority(tie_rule),
+        }
     }
 
     /// The standard comparison set used by experiments E3 and E5: voter,
@@ -116,6 +132,29 @@ mod tests {
         }
         .name()
         .contains("best-of-5"));
+    }
+
+    #[test]
+    fn spec_kind_matches_the_built_protocol_kind() {
+        // `ProtocolSpec::kind` and `Protocol::kind` express the same mapping
+        // twice; this pins them together so they cannot drift when a
+        // protocol is added.
+        let mut specs = ProtocolSpec::comparison_set();
+        specs.extend([
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::Random,
+            },
+            ProtocolSpec::BestOfK {
+                k: 4,
+                tie_rule: TieRule::Random,
+            },
+            ProtocolSpec::LocalMajority {
+                tie_rule: TieRule::Random,
+            },
+        ]);
+        for spec in specs {
+            assert_eq!(spec.build().kind(), Some(spec.kind()), "{spec:?}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use bo3_graph::{CsrGraph, NeighbourSampler};
 
 use crate::error::{DynamicsError, Result};
+use crate::kernel::{self, PackedSnapshot, ProtocolKind};
 use crate::opinion::{Configuration, Opinion};
 use crate::protocol::{Protocol, UpdateContext};
 use crate::schedule::Schedule;
@@ -108,6 +109,11 @@ impl<'g> Simulator<'g> {
 
     /// Performs one synchronous round: reads `current`, writes the next
     /// opinions into `next` (which is cleared and refilled).
+    ///
+    /// Built-in protocols ([`Protocol::kind`] returns `Some`) run through
+    /// the monomorphized kernels of [`crate::kernel`] over a bit-packed
+    /// snapshot; custom protocols use the generic `dyn` loop.  Both paths
+    /// consume `rng` identically, so the choice is invisible in the output.
     pub fn step_synchronous(
         &self,
         protocol: &dyn Protocol,
@@ -115,8 +121,30 @@ impl<'g> Simulator<'g> {
         next: &mut Vec<Opinion>,
         rng: &mut dyn RngCore,
     ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_synchronous_into(protocol, protocol.kind(), current, next, &mut snap, rng);
+    }
+
+    /// [`Simulator::step_synchronous`] with the protocol kind pre-resolved
+    /// and a caller-owned snapshot buffer, so repeated rounds (as in
+    /// [`Simulator::run`]) repack in place instead of allocating.
+    fn step_synchronous_into(
+        &self,
+        protocol: &dyn Protocol,
+        kind: Option<ProtocolKind>,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        snap: &mut PackedSnapshot,
+        rng: &mut dyn RngCore,
+    ) {
         let prev = current.as_slice();
         next.clear();
+        if let Some(kind) = kind {
+            next.resize(prev.len(), Opinion::Red);
+            snap.repack_from(prev);
+            kernel::dispatch_chunk(kind, self.graph, snap, 0, next, rng);
+            return;
+        }
         next.reserve(prev.len());
         for v in self.graph.vertices() {
             let ctx = UpdateContext {
@@ -137,14 +165,28 @@ impl<'g> Simulator<'g> {
         config: &mut Configuration,
         rng: &mut dyn RngCore,
     ) {
-        let mut order: Vec<usize> = self.graph.vertices().collect();
+        let mut order: Vec<usize> = Vec::new();
+        self.step_asynchronous_with(protocol, config, rng, &mut order);
+    }
+
+    /// [`Simulator::step_asynchronous`] with a caller-provided order buffer,
+    /// so repeated rounds (as in [`Simulator::run`]) allocate nothing.
+    pub fn step_asynchronous_with(
+        &self,
+        protocol: &dyn Protocol,
+        config: &mut Configuration,
+        rng: &mut dyn RngCore,
+        order: &mut Vec<usize>,
+    ) {
+        order.clear();
+        order.extend(self.graph.vertices());
         {
             let mut r = &mut *rng;
             order.shuffle(&mut r);
         }
         // The asynchronous update reads the live configuration; we snapshot
         // per vertex via the slice borrow below.
-        for v in order {
+        for &v in order.iter() {
             let new_opinion = {
                 let prev = config.as_slice();
                 let ctx = UpdateContext {
@@ -169,15 +211,70 @@ impl<'g> Simulator<'g> {
         master_seed: u64,
         round: u64,
     ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_seeded_into(
+            protocol,
+            protocol.kind(),
+            current,
+            next,
+            &mut snap,
+            master_seed,
+            round,
+        );
+    }
+
+    /// [`Simulator::step_seeded`] with the protocol kind pre-resolved and a
+    /// caller-owned snapshot buffer, so repeated rounds (as in
+    /// [`Simulator::run_seeded`]) repack in place instead of allocating.
+    #[allow(clippy::too_many_arguments)] // private plumbing: two scratch buffers ride along
+    fn step_seeded_into(
+        &self,
+        protocol: &dyn Protocol,
+        kind: Option<ProtocolKind>,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        snap: &mut PackedSnapshot,
+        master_seed: u64,
+        round: u64,
+    ) {
         let prev = current.as_slice();
         next.clear();
         next.resize(prev.len(), Opinion::Red);
+        if let Some(kind) = kind {
+            snap.repack_from(prev);
+            self.step_seeded_kernel(kind, snap, next, master_seed, round);
+            return;
+        }
         for (chunk, out) in next.chunks_mut(crate::parallel::CHUNK_SIZE).enumerate() {
             let mut rng = crate::parallel::chunk_rng(master_seed, round, chunk as u64);
             crate::parallel::update_chunk(
                 protocol,
                 &self.sampler,
                 prev,
+                chunk * crate::parallel::CHUNK_SIZE,
+                out,
+                &mut rng,
+            );
+        }
+    }
+
+    /// Kernel-path seeded round over an already-packed snapshot, one
+    /// monomorphized chunk per `(master_seed, round, chunk)` RNG stream —
+    /// the exact per-chunk schedule of the parallel stepper.
+    fn step_seeded_kernel(
+        &self,
+        kind: ProtocolKind,
+        snap: &PackedSnapshot,
+        next: &mut [Opinion],
+        master_seed: u64,
+        round: u64,
+    ) {
+        for (chunk, out) in next.chunks_mut(crate::parallel::CHUNK_SIZE).enumerate() {
+            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk as u64);
+            kernel::dispatch_chunk(
+                kind,
+                self.graph,
+                snap,
                 chunk * crate::parallel::CHUNK_SIZE,
                 out,
                 &mut rng,
@@ -213,13 +310,26 @@ impl<'g> Simulator<'g> {
                 expected: self.graph.num_vertices(),
             });
         }
+        let kind = protocol.kind();
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        // The packed snapshot is repacked in place each round; the only
+        // remaining kernel-path allocation is the batched kernel's small
+        // per-chunk pick buffer (amortised over 4096 vertices).
+        let mut snap = PackedSnapshot::all_red(0);
         Ok(drive(
             &self.stopping,
             self.record_trace,
             initial,
             |config, round| {
-                self.step_seeded(protocol, config, &mut scratch, master_seed, round as u64);
+                self.step_seeded_into(
+                    protocol,
+                    kind,
+                    config,
+                    &mut scratch,
+                    &mut snap,
+                    master_seed,
+                    round as u64,
+                );
                 config.overwrite_from(&scratch);
             },
         ))
@@ -238,18 +348,28 @@ impl<'g> Simulator<'g> {
                 expected: self.graph.num_vertices(),
             });
         }
+        let kind = protocol.kind();
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        let mut snap = PackedSnapshot::all_red(0);
+        let mut order: Vec<usize> = Vec::new();
         Ok(drive(
             &self.stopping,
             self.record_trace,
             initial,
             |config, _round| match self.schedule {
                 Schedule::Synchronous => {
-                    self.step_synchronous(protocol, config, &mut scratch, rng);
+                    self.step_synchronous_into(
+                        protocol,
+                        kind,
+                        config,
+                        &mut scratch,
+                        &mut snap,
+                        rng,
+                    );
                     config.overwrite_from(&scratch);
                 }
                 Schedule::AsynchronousRandomOrder => {
-                    self.step_asynchronous(protocol, config, rng);
+                    self.step_asynchronous_with(protocol, config, rng, &mut order);
                 }
             },
         ))

@@ -14,6 +14,9 @@
 //!   `Bernoulli(1/2 − δ)` start to adversarial placements;
 //! * [`engine`] / [`parallel`] — single-threaded and deterministic
 //!   multi-threaded steppers;
+//! * [`kernel`] — monomorphized hot-path kernels (bit-packed snapshots,
+//!   batched RNG, static dispatch) that both steppers route built-in
+//!   protocols through;
 //! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
 //!   statistics the experiments report;
 //! * [`trace`], [`schedule`], [`stopping`], [`config`] — supporting types.
@@ -42,6 +45,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod init;
+pub mod kernel;
 pub mod montecarlo;
 pub mod opinion;
 pub mod parallel;
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use crate::engine::{RunResult, Simulator};
     pub use crate::error::{DynamicsError, Result};
     pub use crate::init::InitialCondition;
+    pub use crate::kernel::{kernel_chunk_rng, DynOnly, KernelRng, PackedSnapshot, ProtocolKind};
     pub use crate::montecarlo::{MonteCarlo, MonteCarloReport, ReplicaOutcome};
     pub use crate::opinion::{Configuration, Opinion};
     pub use crate::parallel::ParallelSimulator;

@@ -5,6 +5,13 @@
 //! executes replicas across threads (each replica is single-threaded; the
 //! parallelism is across replicas, which is the efficient direction for the
 //! `n ≤ 10⁶` graphs used here) with deterministic per-replica seeding.
+//!
+//! Every replica is described by a [`ProtocolSpec`], which always names a
+//! built-in protocol ([`ProtocolSpec::kind`] is total), so
+//! synchronous-schedule replicas execute on the monomorphized kernel path
+//! of [`crate::kernel`] rather than the `dyn`-dispatch fallback.  (The
+//! asynchronous-schedule ablation reads the live configuration and has no
+//! kernel counterpart; it stays on the per-vertex `dyn` path.)
 
 use serde::{Deserialize, Serialize};
 
@@ -161,6 +168,8 @@ impl MonteCarlo {
     /// Runs a single replica (deterministic in `(master_seed, replica)`).
     pub fn run_one(&self, graph: &CsrGraph, replica: usize) -> Result<ReplicaOutcome> {
         let mut rng = replica_rng(self.master_seed, replica as u64);
+        // Built from a spec, the boxed protocol reports its `ProtocolKind`,
+        // so the simulator routes every round through the kernel path.
         let protocol = self.protocol.build();
         let simulator = Simulator::new(graph)?
             .with_schedule(self.schedule)

@@ -11,6 +11,11 @@
 //! `(master_seed, round, chunk_index)` via ChaCha8, so results are bit-for-bit
 //! identical regardless of how many worker threads run the chunks.  This is
 //! the property the engine ablation (sequential vs. parallel stepper) checks.
+//!
+//! Built-in protocols run each chunk through the monomorphized kernels of
+//! [`crate::kernel`] over a shared bit-packed snapshot; custom protocols use
+//! the generic [`update_chunk`] fallback.  Both consume the chunk RNG
+//! identically, so the determinism contract holds across paths.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -20,6 +25,7 @@ use bo3_graph::{CsrGraph, NeighbourSampler};
 
 use crate::engine::RunResult;
 use crate::error::{DynamicsError, Result};
+use crate::kernel::{self, PackedSnapshot};
 use crate::opinion::{Configuration, Opinion};
 use crate::protocol::{Protocol, UpdateContext};
 use crate::stopping::StoppingCondition;
@@ -92,23 +98,62 @@ impl<'g> ParallelSimulator<'g> {
         master_seed: u64,
         round: u64,
     ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_into(protocol, current, next, master_seed, round, &mut snap);
+    }
+
+    /// [`ParallelSimulator::step`] with a caller-owned snapshot buffer, so
+    /// repeated rounds (as in [`ParallelSimulator::run`]) repack in place
+    /// instead of allocating.
+    fn step_into(
+        &self,
+        protocol: &(dyn Protocol + Sync),
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+        snap: &mut PackedSnapshot,
+    ) {
         let n = self.graph.num_vertices();
         let prev = current.as_slice();
         next.clear();
         next.resize(n, Opinion::Red);
 
-        let next_slice = &mut next[..];
+        match protocol.kind() {
+            Some(kind) => {
+                // Kernel path: workers share the read-only packed snapshot
+                // and run the monomorphized chunk kernel.
+                snap.repack_from(prev);
+                let snap_ref = &*snap;
+                let graph = self.graph;
+                self.run_chunks(next, &|chunk, start, out| {
+                    let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
+                    kernel::dispatch_chunk(kind, graph, snap_ref, start, out, &mut rng);
+                });
+            }
+            None => {
+                // Generic fallback for custom protocols.
+                let sampler_ref = &self.sampler;
+                self.run_chunks(next, &|chunk, start, out| {
+                    let mut rng = chunk_rng(master_seed, round, chunk);
+                    update_chunk(protocol, sampler_ref, prev, start, out, &mut rng);
+                });
+            }
+        }
+    }
 
-        // Statically assign chunks round-robin to workers before spawning, so
-        // each worker owns a disjoint set of output slices (lock-free) and the
-        // chunk → RNG mapping stays independent of the thread count.
+    /// Runs `op` once per [`CHUNK_SIZE`] chunk of `next` across the worker
+    /// pool.  Chunks are statically assigned round-robin to workers before
+    /// spawning, so each worker owns a disjoint set of output slices
+    /// (lock-free) and the chunk → RNG mapping stays independent of the
+    /// thread count.
+    fn run_chunks(&self, next: &mut [Opinion], op: &(dyn Fn(u64, usize, &mut [Opinion]) + Sync)) {
         let workers = self.threads.max(1);
         let mut per_thread: Vec<Vec<(usize, &mut [Opinion])>> =
             (0..workers).map(|_| Vec::new()).collect();
-        for (chunk, slice) in next_slice.chunks_mut(CHUNK_SIZE).enumerate() {
+        for (chunk, slice) in next.chunks_mut(CHUNK_SIZE).enumerate() {
             per_thread[chunk % workers].push((chunk, slice));
         }
-        let sampler_ref = &self.sampler;
 
         crossbeam::thread::scope(|scope| {
             for bucket in per_thread.drain(..) {
@@ -117,15 +162,7 @@ impl<'g> ParallelSimulator<'g> {
                 }
                 scope.spawn(move |_| {
                     for (chunk, out) in bucket {
-                        let mut rng = chunk_rng(master_seed, round, chunk as u64);
-                        update_chunk(
-                            protocol,
-                            sampler_ref,
-                            prev,
-                            chunk * CHUNK_SIZE,
-                            out,
-                            &mut rng,
-                        );
+                        op(chunk as u64, chunk * CHUNK_SIZE, out);
                     }
                 });
             }
@@ -148,12 +185,23 @@ impl<'g> ParallelSimulator<'g> {
             });
         }
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        // Repacked in place each round; the only remaining kernel-path
+        // allocation is the batched kernel's small per-chunk pick buffer
+        // (amortised over 4096 vertices).
+        let mut snap = PackedSnapshot::all_red(0);
         Ok(crate::engine::drive(
             &self.stopping,
             self.record_trace,
             initial,
             |config, round| {
-                self.step(protocol, config, &mut scratch, master_seed, round as u64);
+                self.step_into(
+                    protocol,
+                    config,
+                    &mut scratch,
+                    master_seed,
+                    round as u64,
+                    &mut snap,
+                );
                 config.overwrite_from(&scratch);
             },
         ))
@@ -188,20 +236,27 @@ pub(crate) fn update_chunk(
     }
 }
 
-/// Derives the RNG for one `(seed, round, chunk)` work unit.
-///
-/// Public so seeded sequential runs ([`crate::engine::Simulator::run_seeded`])
-/// can reproduce the parallel stepper's randomness bit-for-bit.
-pub fn chunk_rng(master_seed: u64, round: u64, chunk: u64) -> impl RngCore {
-    // SplitMix-style mixing of the three coordinates into a 64-bit stream id,
-    // then ChaCha8 for the actual stream (cheap, high quality, seekable).
+/// SplitMix-style mixing of the three work-unit coordinates into a 64-bit
+/// stream id, shared by the `dyn`-path [`chunk_rng`] and the kernel-path
+/// [`crate::kernel::kernel_chunk_rng`].
+pub(crate) fn stream_id(master_seed: u64, round: u64, chunk: u64) -> u64 {
     let mut z = master_seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round.wrapping_add(1)))
         .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(chunk.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    ChaCha8Rng::seed_from_u64(z)
+    z ^ (z >> 31)
+}
+
+/// Derives the `dyn`-path RNG for one `(seed, round, chunk)` work unit.
+///
+/// Public so seeded sequential runs ([`crate::engine::Simulator::run_seeded`])
+/// can reproduce the parallel stepper's randomness bit-for-bit.  The kernel
+/// path uses the cheaper [`crate::kernel::kernel_chunk_rng`] over the same
+/// stream-id derivation.
+pub fn chunk_rng(master_seed: u64, round: u64, chunk: u64) -> impl RngCore {
+    // ChaCha8 for the actual stream (cheap, high quality, seekable).
+    ChaCha8Rng::seed_from_u64(stream_id(master_seed, round, chunk))
 }
 
 /// Derives a per-replica RNG for Monte-Carlo runs; exposed so the sequential

@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
 use crate::protocol::{count_blue_samples, resolve_majority, Protocol, TieRule, UpdateContext};
 
@@ -51,6 +52,13 @@ impl Protocol for BestOfK {
     fn update(&self, ctx: &UpdateContext<'_>, rng: &mut dyn RngCore) -> Opinion {
         let blues = count_blue_samples(ctx, self.k, rng);
         resolve_majority(blues, self.k, ctx.current, self.tie_rule, rng)
+    }
+
+    fn kind(&self) -> Option<ProtocolKind> {
+        Some(ProtocolKind::BestOfK {
+            k: self.k,
+            tie_rule: self.tie_rule,
+        })
     }
 }
 

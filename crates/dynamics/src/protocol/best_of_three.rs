@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
 use crate::protocol::{count_blue_samples, Protocol, UpdateContext};
 
@@ -35,6 +36,10 @@ impl Protocol for BestOfThree {
         } else {
             Opinion::Red
         }
+    }
+
+    fn kind(&self) -> Option<ProtocolKind> {
+        Some(ProtocolKind::BestOfThree)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
 use crate::protocol::{count_blue_samples, resolve_majority, Protocol, TieRule, UpdateContext};
 
@@ -53,6 +54,10 @@ impl Protocol for BestOfTwo {
     fn update(&self, ctx: &UpdateContext<'_>, rng: &mut dyn RngCore) -> Opinion {
         let blues = count_blue_samples(ctx, 2, rng);
         resolve_majority(blues, 2, ctx.current, self.tie_rule, rng)
+    }
+
+    fn kind(&self) -> Option<ProtocolKind> {
+        Some(ProtocolKind::BestOfTwo(self.tie_rule))
     }
 }
 

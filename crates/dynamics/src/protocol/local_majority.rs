@@ -2,8 +2,9 @@
 
 use rand::RngCore;
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
-use crate::protocol::{Protocol, TieRule, UpdateContext};
+use crate::protocol::{resolve_majority, Protocol, TieRule, UpdateContext};
 
 /// Local majority: every vertex reads its **entire** neighbourhood and adopts
 /// the majority colour (ties resolved by the tie rule).
@@ -45,31 +46,17 @@ impl Protocol for LocalMajority {
     }
 
     fn update(&self, ctx: &UpdateContext<'_>, rng: &mut dyn RngCore) -> Opinion {
-        use rand::Rng;
         let graph = ctx.sampler.graph();
-        let mut blues = 0usize;
         let row = graph.neighbours(ctx.vertex);
+        let mut blues = 0usize;
         for &w in row {
-            if ctx.previous[w].is_blue() {
-                blues += 1;
-            }
+            blues += usize::from(ctx.previous[w].is_blue());
         }
-        let reds = row.len() - blues;
-        match blues.cmp(&reds) {
-            std::cmp::Ordering::Greater => Opinion::Blue,
-            std::cmp::Ordering::Less => Opinion::Red,
-            std::cmp::Ordering::Equal => match self.tie_rule {
-                TieRule::KeepOwn => ctx.current,
-                TieRule::Random => {
-                    let r = rng;
-                    if r.gen::<bool>() {
-                        Opinion::Blue
-                    } else {
-                        Opinion::Red
-                    }
-                }
-            },
-        }
+        resolve_majority(blues, row.len(), ctx.current, self.tie_rule, rng)
+    }
+
+    fn kind(&self) -> Option<ProtocolKind> {
+        Some(ProtocolKind::LocalMajority(self.tie_rule))
     }
 }
 

@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use bo3_graph::{NeighbourSampler, VertexId};
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
 
 /// How a protocol resolves a tied sample (only relevant for even sample sizes).
@@ -68,6 +69,17 @@ pub trait Protocol: Send + Sync {
 
     /// Computes the next opinion of `ctx.vertex`.
     fn update(&self, ctx: &UpdateContext<'_>, rng: &mut dyn RngCore) -> Opinion;
+
+    /// The built-in kernel this protocol monomorphizes to, if any.
+    ///
+    /// Protocols returning `Some` are routed through the static-dispatch
+    /// kernels in [`crate::kernel`] by both engines; the default `None`
+    /// keeps custom registry protocols on the generic `dyn` path.  An
+    /// override must match [`Protocol::update`] draw-for-draw (same stream,
+    /// same result) — the kernel-equivalence suite pins this.
+    fn kind(&self) -> Option<ProtocolKind> {
+        None
+    }
 }
 
 /// Helper shared by the sampling protocols: counts blue among `k` uniform
@@ -78,27 +90,27 @@ pub(crate) fn count_blue_samples(
     rng: &mut dyn RngCore,
 ) -> usize {
     use rand::Rng;
+    // The row (and with it the degree) is hoisted out of the k-sample loop;
+    // each sample is one `gen_range` draw plus one slice read.  The draw
+    // sequence must stay bit-identical to the kernels in [`crate::kernel`].
+    let row = ctx.sampler.graph().neighbours(ctx.vertex);
     let mut blues = 0usize;
     let r = rng;
     for _ in 0..k {
-        let deg = ctx.sampler.graph().degree(ctx.vertex);
-        let i = r.gen_range(0..deg);
-        let w = ctx.sampler.graph().neighbour_at(ctx.vertex, i);
-        if ctx.previous[w].is_blue() {
-            blues += 1;
-        }
+        let w = row[r.gen_range(0..row.len())];
+        blues += usize::from(ctx.previous[w].is_blue());
     }
     blues
 }
 
 /// Resolves a sample of size `k` with `blues` blue votes under the given tie
 /// rule. Exposed for reuse by the protocols and directly tested.
-pub(crate) fn resolve_majority(
+pub(crate) fn resolve_majority<R: RngCore + ?Sized>(
     blues: usize,
     k: usize,
     current: Opinion,
     tie_rule: TieRule,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) -> Opinion {
     use rand::Rng;
     let reds = k - blues;

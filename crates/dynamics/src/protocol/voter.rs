@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use crate::kernel::ProtocolKind;
 use crate::opinion::Opinion;
 use crate::protocol::{count_blue_samples, Protocol, UpdateContext};
 
@@ -38,6 +39,10 @@ impl Protocol for Voter {
         } else {
             Opinion::Red
         }
+    }
+
+    fn kind(&self) -> Option<ProtocolKind> {
+        Some(ProtocolKind::Voter)
     }
 }
 

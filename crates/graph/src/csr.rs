@@ -125,6 +125,18 @@ impl CsrGraph {
         self.n == 0
     }
 
+    /// `true` when this is the complete graph `K_n`, in `O(1)`.
+    ///
+    /// A validated CSR graph is simple (sorted rows, no duplicates, no self
+    /// loops), so it holds `n(n-1)/2` edges **iff** every pair is adjacent.
+    /// Hot paths use this to synthesise neighbour rows arithmetically
+    /// (`neighbour_at(v, i) == i + (i >= v)`) instead of reading the
+    /// `Θ(n²)`-sized adjacency — see the kernel module in `bo3-dynamics`.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.n >= 2 && self.neighbours.len() == self.n * (self.n - 1)
+    }
+
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
@@ -303,6 +315,31 @@ mod tests {
         assert_eq!(g.max_degree(), Some(2));
         assert_eq!(g.total_degree(), 6);
         assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_complete_detection_and_row_synthesis() {
+        assert!(triangle().is_complete());
+        for n in [2usize, 5, 17] {
+            let g = generators::complete(n);
+            assert!(g.is_complete(), "K_{n}");
+            // The arithmetic row used by the dynamics kernels must agree
+            // with the stored CSR row entry for entry.
+            for v in g.vertices() {
+                for i in 0..g.degree(v) {
+                    assert_eq!(g.neighbour_at(v, i), i + usize::from(i >= v));
+                }
+            }
+        }
+        let mut near = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)] {
+            near = near.add_edge(u, v).unwrap();
+        }
+        let near = near.build().unwrap();
+        assert!(!near.is_complete(), "K_4 minus one edge");
+        assert!(!generators::cycle(5).unwrap().is_complete());
+        let single = GraphBuilder::new(1).build().unwrap();
+        assert!(!single.is_complete());
     }
 
     #[test]

@@ -72,9 +72,8 @@ impl<'g> NeighbourSampler<'g> {
         }
     }
 
-    /// Samples `k` distinct neighbours of `v` (without replacement) using
-    /// partial Fisher–Yates over the neighbour row. Used by the
-    /// "without replacement" ablation. Returns fewer than `k` ids when
+    /// Samples `k` distinct neighbours of `v` (without replacement). Used by
+    /// the "without replacement" ablation. Returns fewer than `k` ids when
     /// `deg(v) < k`.
     pub fn sample_without_replacement<R: Rng + ?Sized>(
         &self,
@@ -82,14 +81,37 @@ impl<'g> NeighbourSampler<'g> {
         k: usize,
         rng: &mut R,
     ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.sample_without_replacement_into(v, k, &mut out, rng);
+        out
+    }
+
+    /// [`NeighbourSampler::sample_without_replacement`] into a caller-owned
+    /// buffer, so repeated calls allocate nothing.
+    ///
+    /// Uses Floyd's subset-sampling algorithm: one bounded draw per sample
+    /// and a membership scan over the (small) output — no `O(deg)` index
+    /// vector, unlike a materialised partial Fisher–Yates.  The membership
+    /// scan relies on the CSR row holding no duplicate neighbours.
+    pub fn sample_without_replacement_into<R: Rng + ?Sized>(
+        &self,
+        v: VertexId,
+        k: usize,
+        out: &mut Vec<VertexId>,
+        rng: &mut R,
+    ) {
         let row = self.graph.neighbours(v);
         let take = k.min(row.len());
-        let mut idx: Vec<usize> = (0..row.len()).collect();
-        for i in 0..take {
-            let j = rng.gen_range(i..idx.len());
-            idx.swap(i, j);
+        out.clear();
+        out.reserve(take);
+        for j in row.len() - take..row.len() {
+            let pick = row[rng.gen_range(0..=j)];
+            if out.contains(&pick) {
+                out.push(row[j]);
+            } else {
+                out.push(pick);
+            }
         }
-        idx[..take].iter().map(|&i| row[i]).collect()
     }
 }
 
@@ -172,10 +194,22 @@ impl AliasTable {
     }
 
     /// Draws one index according to the weight distribution.
+    ///
+    /// Consumes exactly one `u64` of randomness: the column index comes from
+    /// the high 32 bits (fixed-point multiply onto `[0, n)`) and the
+    /// bernoulli threshold from the low 32 bits, instead of the textbook two
+    /// draws (`gen_range` + `gen::<f64>`).  With at most 2³² categories the
+    /// two halves are independent and each uniform.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let i = rng.gen_range(0..self.prob.len());
-        if rng.gen::<f64>() < self.prob[i] {
+        debug_assert!(
+            (self.prob.len() as u64) < (1u64 << 32),
+            "alias table too large"
+        );
+        let draw = rng.next_u64();
+        let i = (((draw >> 32) * self.prob.len() as u64) >> 32) as usize;
+        let threshold = (draw as u32) as f64 * (1.0 / 4_294_967_296.0);
+        if threshold < self.prob[i] {
             i
         } else {
             self.alias[i]
@@ -316,6 +350,111 @@ mod tests {
         let total: f64 = weights.iter().sum();
         for (i, &w) in weights.iter().enumerate() {
             let expected = trials as f64 * w / total;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.05,
+                "category {i}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_into_reuses_the_buffer() {
+        let g = generators::complete(12);
+        let s = NeighbourSampler::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            s.sample_without_replacement_into(3, 4, &mut buf, &mut rng);
+            assert_eq!(buf.len(), 4);
+            let mut sorted = buf.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "samples must be distinct");
+            for &w in &buf {
+                assert!(g.has_edge(3, w));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_is_uniform_over_neighbours() {
+        // Floyd's algorithm must give every neighbour the same marginal
+        // inclusion probability k/deg.
+        let g = generators::complete(21);
+        let s = NeighbourSampler::new(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let trials = 40_000;
+        let k = 5;
+        let mut counts = [0usize; 21];
+        let mut buf = Vec::new();
+        for _ in 0..trials {
+            s.sample_without_replacement_into(0, k, &mut buf, &mut rng);
+            for &w in &buf {
+                counts[w] += 1;
+            }
+        }
+        assert_eq!(counts[0], 0, "vertex 0 must never sample itself");
+        let expected = trials as f64 * k as f64 / 20.0;
+        for &c in &counts[1..] {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "count {c} vs {expected}"
+            );
+        }
+    }
+
+    /// An [`RngCore`] wrapper that counts how much randomness is consumed.
+    struct CountingRng<R> {
+        inner: R,
+        u32_draws: usize,
+        u64_draws: usize,
+    }
+
+    impl<R: rand::RngCore> rand::RngCore for CountingRng<R> {
+        fn next_u32(&mut self) -> u32 {
+            self.u32_draws += 1;
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.u64_draws += 1;
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+
+    #[test]
+    fn alias_table_consumes_one_u64_per_sample() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        let mut rng = CountingRng {
+            inner: StdRng::seed_from_u64(17),
+            u32_draws: 0,
+            u64_draws: 0,
+        };
+        let samples = 1000;
+        for _ in 0..samples {
+            t.sample(&mut rng);
+        }
+        assert_eq!(rng.u64_draws, samples);
+        assert_eq!(rng.u32_draws, 0);
+    }
+
+    #[test]
+    fn alias_table_single_draw_split_matches_weights_empirically() {
+        // Sharper empirical check dedicated to the high/low bit split: a
+        // skewed distribution where index/threshold correlation would show.
+        let weights = [0.05, 0.9, 0.05];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let trials = 300_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = trials as f64 * w;
             let got = counts[i] as f64;
             assert!(
                 (got - expected).abs() < expected * 0.05,

@@ -1,0 +1,209 @@
+//! Equivalence suite for the monomorphized kernel path.
+//!
+//! The kernels in `crates/dynamics/src/kernel.rs` promise two things
+//! (documented there as the determinism contract):
+//!
+//! 1. **Draw-for-draw `dyn` compatibility** — handed the same RNG, the
+//!    kernel path and the generic `dyn Protocol` fallback consume the same
+//!    stream and produce bit-identical results.  Pinned here by running
+//!    every built-in protocol through the caller-RNG entry points twice —
+//!    once normally (kernel path) and once wrapped in `DynOnly` (which
+//!    hides the `ProtocolKind` and forces the `dyn` path) — on three graph
+//!    families.
+//! 2. **Sequential == parallel on the seeded path** — within each dispatch
+//!    path, the seeded sequential stepper and the parallel stepper are
+//!    bit-identical at any thread count.  The determinism regression suite
+//!    covers the kernel path (all built-ins); here we pin the `dyn`
+//!    fallback path the same way via `DynOnly`.
+
+use bo3_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MASTER_SEED: u64 = 0xE13;
+
+/// A protocol's display name, its kernel-path build and a `DynOnly` copy.
+type ProtocolPair = (
+    &'static str,
+    Box<dyn Protocol + Sync>,
+    Box<dyn Protocol + Sync>,
+);
+
+/// The built-in protocols, each alongside a `DynOnly`-wrapped copy.
+fn protocol_pairs() -> Vec<ProtocolPair> {
+    vec![
+        (
+            "voter",
+            Box::new(Voter::new()),
+            Box::new(DynOnly(Voter::new())),
+        ),
+        (
+            "best-of-2 (keep)",
+            Box::new(BestOfTwo::keep_own()),
+            Box::new(DynOnly(BestOfTwo::keep_own())),
+        ),
+        (
+            "best-of-2 (random)",
+            Box::new(BestOfTwo::new(TieRule::Random)),
+            Box::new(DynOnly(BestOfTwo::new(TieRule::Random))),
+        ),
+        (
+            "best-of-3",
+            Box::new(BestOfThree::new()),
+            Box::new(DynOnly(BestOfThree::new())),
+        ),
+        (
+            "best-of-6 (random)",
+            Box::new(BestOfK::new(6, TieRule::Random)),
+            Box::new(DynOnly(BestOfK::new(6, TieRule::Random))),
+        ),
+        (
+            "best-of-5 (keep)",
+            Box::new(BestOfK::new(5, TieRule::KeepOwn)),
+            Box::new(DynOnly(BestOfK::new(5, TieRule::KeepOwn))),
+        ),
+        (
+            "local-majority",
+            Box::new(LocalMajority::keep_own()),
+            Box::new(DynOnly(LocalMajority::keep_own())),
+        ),
+    ]
+}
+
+/// The graph families the contract is pinned on.  The Erdős–Rényi instance
+/// spans multiple 4096-vertex chunks so chunked RNG derivation is exercised;
+/// the bipartite graph adds structured (oscillation-prone) dynamics.
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    let mut rng = StdRng::seed_from_u64(40);
+    vec![
+        ("complete", bo3_graph::generators::complete(900)),
+        (
+            "erdos-renyi",
+            bo3_graph::generators::erdos_renyi_gnp(9_000, 0.01, &mut rng).expect("gnp"),
+        ),
+        (
+            "bipartite",
+            bo3_graph::generators::complete_bipartite(400, 500).expect("bipartite"),
+        ),
+    ]
+}
+
+fn biased_init(graph: &CsrGraph, seed: u64) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    InitialCondition::BernoulliWithBias { delta: 0.05 }
+        .sample(graph, &mut rng)
+        .expect("initial condition")
+}
+
+#[test]
+fn kernel_and_dyn_paths_are_bit_identical_given_the_same_rng() {
+    for (graph_name, graph) in &graphs() {
+        let init = biased_init(graph, 3);
+        let sim = Simulator::new(graph)
+            .expect("simulator")
+            .with_stopping(StoppingCondition::fixed_rounds(10))
+            .with_trace(true);
+        for (name, kernel_side, dyn_side) in &protocol_pairs() {
+            // Identically seeded caller RNGs: the two paths must consume
+            // them draw-for-draw and end bit-identical.
+            let mut rng_kernel = StdRng::seed_from_u64(MASTER_SEED);
+            let mut rng_dyn = StdRng::seed_from_u64(MASTER_SEED);
+            let via_kernel = sim
+                .run(kernel_side.as_ref(), init.clone(), &mut rng_kernel)
+                .expect("kernel-path run");
+            let via_dyn = sim
+                .run(dyn_side.as_ref(), init.clone(), &mut rng_dyn)
+                .expect("dyn-path run");
+            assert_eq!(
+                via_kernel, via_dyn,
+                "{name} on {graph_name}: kernel and dyn runs diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn unseeded_stepper_also_matches_across_paths() {
+    // `Simulator::step_synchronous` (the entry point used by the duality
+    // checker and the E3 bench) must consume the caller's RNG identically
+    // on both paths, round after round.
+    let graph = bo3_graph::generators::complete(700);
+    let init = biased_init(&graph, 7);
+    let sim = Simulator::new(&graph).expect("simulator");
+    for (name, kernel_side, dyn_side) in &protocol_pairs() {
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut next_a = Vec::new();
+        let mut next_b = Vec::new();
+        for _ in 0..5 {
+            sim.step_synchronous(kernel_side.as_ref(), &init, &mut next_a, &mut rng_a);
+            sim.step_synchronous(dyn_side.as_ref(), &init, &mut next_b, &mut rng_b);
+            assert_eq!(next_a, next_b, "{name}: one-step outputs diverged");
+        }
+    }
+}
+
+#[test]
+fn dyn_fallback_path_honours_the_seeded_determinism_contract() {
+    // The determinism regression suite pins sequential == parallel for the
+    // built-ins (kernel path); this pins the same contract for protocols
+    // without a kernel — the `dyn` fallback that custom registry protocols
+    // take — including sequential `run_seeded` against the parallel stepper.
+    for (graph_name, graph) in &graphs() {
+        let init = biased_init(graph, 5);
+        for (name, _, dyn_side) in &protocol_pairs() {
+            let sequential = Simulator::new(graph)
+                .expect("simulator")
+                .with_stopping(StoppingCondition::fixed_rounds(8))
+                .with_trace(true)
+                .run_seeded(dyn_side.as_ref(), init.clone(), MASTER_SEED)
+                .expect("sequential dyn run");
+            for threads in [1usize, 4] {
+                let parallel = ParallelSimulator::new(graph, threads)
+                    .expect("parallel simulator")
+                    .with_stopping(StoppingCondition::fixed_rounds(8))
+                    .with_trace(true)
+                    .run(dyn_side.as_ref(), init.clone(), MASTER_SEED)
+                    .expect("parallel dyn run");
+                assert_eq!(
+                    sequential, parallel,
+                    "{name} on {graph_name}: dyn path diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_convergence_agrees_between_paths() {
+    // Beyond fixed-round trajectories: let Best-of-3 run to consensus on a
+    // multi-chunk graph and require identical stop reason, winner, round
+    // count and trace across dispatch paths (shared caller RNG) and across
+    // engines (seeded kernel path, sequential vs 8 threads).
+    let mut rng = StdRng::seed_from_u64(41);
+    let graph = bo3_graph::generators::erdos_renyi_gnp(9_000, 0.02, &mut rng).expect("gnp");
+    let init = biased_init(&graph, 11);
+    let sim = Simulator::new(&graph).expect("simulator").with_trace(true);
+
+    let mut rng_kernel = StdRng::seed_from_u64(MASTER_SEED);
+    let via_kernel = sim
+        .run(&BestOfThree::new(), init.clone(), &mut rng_kernel)
+        .expect("kernel-path run");
+    assert!(via_kernel.reached_consensus(), "scenario must converge");
+    let mut rng_dyn = StdRng::seed_from_u64(MASTER_SEED);
+    let via_dyn = sim
+        .run(&DynOnly(BestOfThree::new()), init.clone(), &mut rng_dyn)
+        .expect("dyn-path run");
+    assert_eq!(via_kernel, via_dyn, "kernel vs dyn convergence diverged");
+
+    let seq = sim
+        .run_seeded(&BestOfThree::new(), init.clone(), MASTER_SEED)
+        .expect("sequential kernel run");
+    assert!(seq.reached_consensus(), "seeded scenario must converge");
+    let par = ParallelSimulator::new(&graph, 8)
+        .expect("parallel simulator")
+        .with_trace(true)
+        .run(&BestOfThree::new(), init, MASTER_SEED)
+        .expect("parallel kernel run");
+    assert_eq!(seq, par, "sequential vs parallel kernel diverged");
+}

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the invariants the whole stack relies
-//! on: CSR validity of every generator, configuration bookkeeping, majority
-//! monotonicity, the sprinkling coupling, and recursion monotonicity.
+//! on: CSR validity of every generator, configuration bookkeeping,
+//! packed-snapshot/configuration agreement, majority monotonicity, the
+//! sprinkling coupling, and recursion monotonicity.
 
 use bo3_core::prelude::*;
 use bo3_dag::colouring::colour_dag;
@@ -116,6 +117,45 @@ proptest! {
                 prop_assert!(base.colours[t][i].as_value() <= prime.colours[t][i].as_value());
             }
         }
+    }
+
+    #[test]
+    fn packed_snapshot_matches_unpacked_configuration(blues in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let opinions: Vec<Opinion> = blues
+            .iter()
+            .map(|&b| if b { Opinion::Blue } else { Opinion::Red })
+            .collect();
+        let cfg = Configuration::new(opinions.clone());
+        let snap = PackedSnapshot::from_opinions(&opinions);
+        prop_assert_eq!(snap.len(), cfg.len());
+        prop_assert_eq!(snap.blue_count(), cfg.blue_count());
+        prop_assert!((snap.blue_fraction() - cfg.blue_fraction()).abs() < 1e-12);
+        for v in 0..cfg.len() {
+            prop_assert_eq!(snap.get(v), cfg.get(v));
+            prop_assert_eq!(snap.is_blue(v), cfg.get(v).is_blue());
+        }
+    }
+
+    #[test]
+    fn packed_snapshot_tracks_configuration_under_mutation(
+        n in 1usize..200,
+        ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..150),
+    ) {
+        let mut cfg = Configuration::all_red(n);
+        let mut snap = PackedSnapshot::all_red(n);
+        prop_assert_eq!(snap.blue_count(), 0);
+        for (raw_v, blue) in ops {
+            let v = (raw_v % n as u64) as usize;
+            let opinion = if blue { Opinion::Blue } else { Opinion::Red };
+            cfg.set(v, opinion);
+            snap.set(v, opinion);
+            prop_assert_eq!(snap.blue_count(), cfg.blue_count());
+            prop_assert_eq!(snap.get(v), cfg.get(v));
+        }
+        // Repacking from the mutated configuration reproduces the same bits.
+        let mut repacked = PackedSnapshot::all_red(0);
+        repacked.repack_from(cfg.as_slice());
+        prop_assert_eq!(repacked, snap);
     }
 
     #[test]
