@@ -1,0 +1,10 @@
+//! E14: million-node Best-of-Three on implicit topologies (complete,
+//! G(n,p), SBM phase slice) with topology-vs-CSR memory reporting
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e14_scale -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e14_scale::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

@@ -1,7 +1,9 @@
 //! # bo3-bench
 //!
 //! The experiment harness that regenerates every quantitative claim of the
-//! paper (experiments E1–E12 of `DESIGN.md` / `EXPERIMENTS.md`).
+//! paper (experiments E1–E12 of `DESIGN.md` / `EXPERIMENTS.md`), plus the
+//! scale experiment E14 (million-node Best-of-Three on the implicit
+//! topology layer).
 //!
 //! Each experiment lives in its own module with a single entry point
 //! `run(scale)` returning a [`bo3_core::report::Table`]; the binaries in
@@ -25,6 +27,7 @@ pub mod e09_duality;
 pub mod e10_sprinkling_figure;
 pub mod e11_phase_structure;
 pub mod e12_best_of_k;
+pub mod e14_scale;
 
 use bo3_core::report::Table;
 

@@ -71,6 +71,9 @@ pub mod prelude {
     pub use bo3_dynamics::prelude::*;
     pub use bo3_graph::degree::DegreeStats;
     pub use bo3_graph::generators::GraphSpec;
-    pub use bo3_graph::{CsrGraph, GraphBuilder, NeighbourSampler};
+    pub use bo3_graph::{
+        Complete, CompleteBipartite, CompleteMultipartite, CsrGraph, CsrTopology, GraphBuilder,
+        ImplicitGnp, ImplicitSbm, NeighbourSampler, Topology,
+    };
     pub use bo3_theory::prediction::{predict, Prediction};
 }

@@ -4,6 +4,13 @@
 //! run, and manages the double-buffered synchronous update (or the in-place
 //! asynchronous one).  The multi-threaded stepper lives in
 //! [`crate::parallel`] and reuses the same per-vertex update logic.
+//!
+//! Built-in protocols execute through the topology-generic kernels of
+//! [`crate::kernel`]: a materialised complete graph is routed as the
+//! implicit `Complete` topology (synthesised rows, no adjacency reads) and
+//! everything else as `CsrTopology` (batched CSR path).  The fully generic
+//! engine — implicit `G(n, p)`, SBM and friends at `n = 10⁶` with no
+//! adjacency at all — is [`crate::topology_sim::TopologySimulator`].
 
 use rand::seq::SliceRandom;
 use rand::RngCore;

@@ -65,7 +65,23 @@ pub enum InitialCondition {
 impl InitialCondition {
     /// Instantiates the initial configuration on `graph`.
     pub fn sample<R: Rng + ?Sized>(&self, graph: &CsrGraph, rng: &mut R) -> Result<Configuration> {
-        let n = graph.num_vertices();
+        match self {
+            InitialCondition::HighestDegreeBlue { blue } => by_degree(graph, *blue, true),
+            InitialCondition::LowestDegreeBlue { blue } => by_degree(graph, *blue, false),
+            other => other.sample_n(graph.num_vertices(), rng),
+        }
+    }
+
+    /// Instantiates the initial configuration on `n` vertices without a
+    /// materialised graph — the entry point for implicit-topology runs,
+    /// where `n` may be far past any allocatable adjacency.
+    ///
+    /// Every scheme except the degree-ranked placements is a pure function
+    /// of `n` (and the RNG); the degree-ranked ones need a graph to rank and
+    /// return an error here.  For non-degree schemes this consumes `rng`
+    /// exactly like [`InitialCondition::sample`], so seeded runs agree
+    /// across the two entry points.
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Configuration> {
         match self {
             InitialCondition::BernoulliWithBias { delta } => {
                 // NaN fails the first comparison and is rejected too.
@@ -107,8 +123,14 @@ impl InitialCondition {
             }
             InitialCondition::AllRed => Ok(Configuration::all_red(n)),
             InitialCondition::AllBlue => Ok(Configuration::all_blue(n)),
-            InitialCondition::HighestDegreeBlue { blue } => by_degree(graph, *blue, true),
-            InitialCondition::LowestDegreeBlue { blue } => by_degree(graph, *blue, false),
+            InitialCondition::HighestDegreeBlue { .. }
+            | InitialCondition::LowestDegreeBlue { .. } => Err(DynamicsError::InvalidParameter {
+                reason: format!(
+                    "{} ranks vertices by degree and needs a materialised graph; \
+                         use InitialCondition::sample",
+                    self.label()
+                ),
+            }),
             InitialCondition::ExplicitBlue { vertices } => {
                 let mut cfg = Configuration::all_red(n);
                 for &v in vertices {
@@ -332,6 +354,44 @@ mod tests {
         assert!(InitialCondition::PrefixBlue { blue: 11 }
             .sample(&g, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn sample_n_matches_sample_for_graph_free_schemes() {
+        let g = generators::complete(64);
+        for cond in [
+            InitialCondition::BernoulliWithBias { delta: 0.1 },
+            InitialCondition::Bernoulli {
+                blue_probability: 0.3,
+            },
+            InitialCondition::ExactCount { blue: 20 },
+            InitialCondition::AllRed,
+            InitialCondition::AllBlue,
+            InitialCondition::ExplicitBlue {
+                vertices: vec![1, 5],
+            },
+            InitialCondition::PrefixBlue { blue: 7 },
+        ] {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let via_graph = cond.sample(&g, &mut a).unwrap();
+            let via_n = cond.sample_n(64, &mut b).unwrap();
+            assert_eq!(via_graph, via_n, "{}", cond.label());
+        }
+    }
+
+    #[test]
+    fn sample_n_rejects_degree_ranked_schemes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for cond in [
+            InitialCondition::HighestDegreeBlue { blue: 3 },
+            InitialCondition::LowestDegreeBlue { blue: 3 },
+        ] {
+            assert!(matches!(
+                cond.sample_n(10, &mut rng),
+                Err(DynamicsError::InvalidParameter { .. })
+            ));
+        }
     }
 
     #[test]

@@ -14,11 +14,23 @@
 //!   ([`sample_index`]), one draw per sample, no rejection loop, with the
 //!   degree/row lookup hoisted out of the k-sample loop;
 //! * **static dispatch** — [`ProtocolKind`] names the built-in protocols and
-//!   [`dispatch_chunk`] selects a fully monomorphized
-//!   [`update_chunk_kernel`] instantiation per kind, so the protocol update
-//!   and the RNG inline into one tight loop.  Custom protocols keep working
-//!   through the object-safe [`Protocol`] registry API: a protocol whose
-//!   [`Protocol::kind`] returns `None` falls back to the generic `dyn` path.
+//!   [`dispatch_chunk_topology`] selects a fully monomorphized chunk kernel
+//!   per (protocol kind, topology type) pair, so the protocol update, the
+//!   topology's neighbour sampling and the RNG inline into one tight loop.
+//!   Custom protocols keep working through the object-safe [`Protocol`]
+//!   registry API: a protocol whose [`Protocol::kind`] returns `None` falls
+//!   back to the generic `dyn` path.
+//!
+//! The kernels are generic over [`bo3_graph::Topology`], so the same code
+//! drives materialised CSR graphs and the implicit (procedural) topologies
+//! of `bo3_graph::topology` — a million-vertex complete graph or implicit
+//! `G(n, p)` runs without a single byte of adjacency.  Topologies exposing
+//! raw CSR arrays ([`Topology::as_csr`]) take the software-pipelined batched
+//! path below; the complete graph is no longer an ad-hoc special case but
+//! simply the [`bo3_graph::Complete`] topology, whose arithmetic neighbour
+//! synthesis (and the popcount local-majority shortcut via
+//! [`Topology::is_all_but_self`]) the [`dispatch_chunk`] CSR entry point
+//! selects whenever `CsrGraph::is_complete` holds.
 //!
 //! # Determinism contract
 //!
@@ -57,7 +69,8 @@
 
 use rand::RngCore;
 
-use bo3_graph::{CsrGraph, VertexId};
+use bo3_graph::topology::lemire_index;
+use bo3_graph::{Complete, CsrGraph, CsrTopology, Topology, VertexId};
 
 use crate::opinion::Opinion;
 use crate::protocol::{resolve_majority, Protocol, TieRule, UpdateContext};
@@ -287,25 +300,12 @@ pub fn kernel_chunk_rng(master_seed: u64, round: u64, chunk: u64) -> KernelRng {
 ///
 /// This is bit-identical to the vendored `rng.gen_range(0..n)` (which uses
 /// the same fixed-point multiply without a rejection step), which is what
-/// keeps the kernel path and the `dyn` path on the same RNG stream.
+/// keeps the kernel path and the `dyn` path on the same RNG stream.  The
+/// shared definition lives in `bo3_graph::topology` so the implicit
+/// topologies reduce draws identically.
 #[inline(always)]
 pub(crate) fn sample_index(draw: u64, n: usize) -> usize {
-    debug_assert!(n > 0);
-    ((draw as u128 * n as u128) >> 64) as usize
-}
-
-/// One protocol's monomorphizable per-vertex update rule.
-///
-/// `row` is the vertex's hoisted neighbour row (fetched once per vertex, not
-/// once per sample) and `snap` the packed previous-round snapshot.
-trait KernelCore: Copy {
-    fn update_vertex<R: RngCore + ?Sized>(
-        &self,
-        row: &[VertexId],
-        current: Opinion,
-        snap: &PackedSnapshot,
-        rng: &mut R,
-    ) -> Opinion;
+    lemire_index(draw, n)
 }
 
 /// A sampling rule whose RNG consumption is exactly `k` draws per vertex —
@@ -326,23 +326,6 @@ trait BatchCore: Copy {
 
     /// Pure decision from the blue-sample count (no RNG by construction).
     fn decide(&self, blues: usize, current: Opinion) -> Opinion;
-}
-
-/// Counts blue among `k` with-replacement samples: one `u64` draw per
-/// sample, Lemire-reduced onto the hoisted row.
-#[inline(always)]
-fn count_blue_packed<R: RngCore + ?Sized>(
-    row: &[VertexId],
-    snap: &PackedSnapshot,
-    k: usize,
-    rng: &mut R,
-) -> usize {
-    let mut blues = 0usize;
-    for _ in 0..k {
-        let w = row[sample_index(rng.next_u64(), row.len())];
-        blues += snap.is_blue(w) as usize;
-    }
-    blues
 }
 
 /// The pure half of [`resolve_majority`]: strict majorities plus the
@@ -415,62 +398,40 @@ impl BatchCore for BestOfKPureKernel {
     }
 }
 
-/// Best-of-k with a reachable random tie coin (even `k`, `TieRule::Random`):
-/// the coin draw is interleaved with the sample draws, so this core must run
-/// strictly in vertex order.  Covers Best-of-2 (random tie) as `k = 2`.
-#[derive(Clone, Copy)]
-struct BestOfKCoinKernel {
-    k: usize,
-}
-
-impl KernelCore for BestOfKCoinKernel {
-    #[inline(always)]
-    fn update_vertex<R: RngCore + ?Sized>(
-        &self,
-        row: &[VertexId],
-        current: Opinion,
-        snap: &PackedSnapshot,
-        rng: &mut R,
-    ) -> Opinion {
-        let blues = count_blue_packed(row, snap, self.k, rng);
-        resolve_majority(blues, self.k, current, TieRule::Random, rng)
-    }
-}
-
-#[derive(Clone, Copy)]
-struct LocalMajorityKernel {
-    tie_rule: TieRule,
-}
-
-impl KernelCore for LocalMajorityKernel {
-    #[inline(always)]
-    fn update_vertex<R: RngCore + ?Sized>(
-        &self,
-        row: &[VertexId],
-        current: Opinion,
-        snap: &PackedSnapshot,
-        rng: &mut R,
-    ) -> Opinion {
+/// Fixed-draw-count protocols on an arbitrary topology: `k` samples per
+/// vertex through [`Topology::sample_neighbour`], a packed-bit lookup each,
+/// then the pure majority decision.  For the closed-form topologies
+/// (implicit complete, bipartite, multipartite) the sample inlines to a
+/// couple of arithmetic ops and one L1-resident snapshot read — no adjacency
+/// exists to miss on.  Vertices are processed strictly in order so the RNG
+/// stream matches the `dyn` path on materialised graphs.
+fn update_chunk_sampled<C: BatchCore, T: Topology, R: RngCore + ?Sized>(
+    core: C,
+    topo: &T,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+) {
+    let k = core.samples();
+    for (i, slot) in out.iter_mut().enumerate() {
+        let v = start + i;
         let mut blues = 0usize;
-        for &w in row {
-            blues += snap.is_blue(w) as usize;
+        for _ in 0..k {
+            blues += snap.is_blue(topo.sample_neighbour(v, rng)) as usize;
         }
-        resolve_majority(blues, row.len(), current, self.tie_rule, rng)
+        *slot = core.decide(blues, snap.get(v));
     }
 }
 
-/// Applies one monomorphized kernel to the vertices
-/// `start..start + out.len()`, reading the packed snapshot and writing the
-/// new opinions into `out`, consuming `rng` exactly as the `dyn` path does —
-/// per vertex in order, with any tie coin interleaved.
-///
-/// This is the kernel-path counterpart of
-/// [`crate::parallel::update_chunk`]; both honour the same chunk boundaries
-/// and RNG derivation, which is what keeps sequential, parallel, kernel and
-/// `dyn` executions bit-identical.
-fn update_chunk_kernel<P: KernelCore, R: RngCore + ?Sized>(
-    core: P,
-    graph: &CsrGraph,
+/// Best-of-k with a reachable random tie coin (even `k`, `TieRule::Random`)
+/// on an arbitrary topology: the coin draw is interleaved between one
+/// vertex's samples and the next vertex's, so this kernel runs strictly in
+/// vertex order and cannot be phase-split.  Covers Best-of-2 (random tie) as
+/// `k = 2`.
+fn update_chunk_coin_sampled<T: Topology, R: RngCore + ?Sized>(
+    k: usize,
+    topo: &T,
     snap: &PackedSnapshot,
     start: usize,
     out: &mut [Opinion],
@@ -478,8 +439,94 @@ fn update_chunk_kernel<P: KernelCore, R: RngCore + ?Sized>(
 ) {
     for (i, slot) in out.iter_mut().enumerate() {
         let v = start + i;
-        let row = graph.neighbours(v);
-        *slot = core.update_vertex(row, snap.get(v), snap, rng);
+        let mut blues = 0usize;
+        for _ in 0..k {
+            blues += snap.is_blue(topo.sample_neighbour(v, rng)) as usize;
+        }
+        *slot = resolve_majority(blues, k, snap.get(v), TieRule::Random, rng);
+    }
+}
+
+/// The coin kernel specialised to materialised CSR arrays: the neighbour
+/// row is hoisted out of the k-sample loop (one offsets read per vertex,
+/// not per draw), with draws and coin in exactly the sampled path's order.
+fn update_chunk_coin_csr<R: RngCore + ?Sized>(
+    k: usize,
+    offsets: &[usize],
+    neighbours: &[VertexId],
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let v = start + i;
+        let row = &neighbours[offsets[v]..offsets[v + 1]];
+        let mut blues = 0usize;
+        for _ in 0..k {
+            blues += snap.is_blue(row[sample_index(rng.next_u64(), row.len())]) as usize;
+        }
+        *slot = resolve_majority(blues, k, snap.get(v), TieRule::Random, rng);
+    }
+}
+
+/// Routes one coin-protocol chunk like [`fixed_draw_chunk`] does for the
+/// pure protocols: row-hoisted on CSR, sampled elsewhere.  Both consume the
+/// RNG identically.
+#[inline]
+fn coin_chunk<T: Topology, R: RngCore + ?Sized>(
+    k: usize,
+    topo: &T,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+) {
+    if let Some((offsets, neighbours)) = topo.as_csr() {
+        update_chunk_coin_csr(k, offsets, neighbours, snap, start, out, rng);
+    } else {
+        update_chunk_coin_sampled(k, topo, snap, start, out, rng);
+    }
+}
+
+/// Deterministic full-neighbourhood majority on an arbitrary topology.
+///
+/// When the topology is the complete graph ([`Topology::is_all_but_self`])
+/// every vertex sees all vertices but itself, so its blue-neighbour count is
+/// one popcount of the snapshot (hoisted out of the loop) minus its own bit
+/// — `O(n/64 + chunk)` instead of the `Θ(n · chunk)` neighbourhood scan.
+/// Counts equal the scan's, so ties (and any tie coins) land identically.
+/// Other topologies walk their neighbourhood via
+/// [`Topology::for_each_neighbour`] — the same row scan as before on CSR,
+/// and an inherently `Θ(n)`-per-vertex edge-test sweep on hash-defined
+/// implicit topologies.
+fn update_chunk_local_majority<T: Topology, R: RngCore + ?Sized>(
+    tie_rule: TieRule,
+    topo: &T,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+) {
+    if topo.is_all_but_self() {
+        let total_blues = snap.blue_count();
+        let deg = snap.len() - 1;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let v = start + i;
+            let blues = total_blues - snap.is_blue(v) as usize;
+            *slot = resolve_majority(blues, deg, snap.get(v), tie_rule, rng);
+        }
+        return;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        let v = start + i;
+        let mut blues = 0usize;
+        let mut deg = 0usize;
+        topo.for_each_neighbour(v, |w| {
+            blues += snap.is_blue(w) as usize;
+            deg += 1;
+        });
+        *slot = resolve_majority(blues, deg, snap.get(v), tie_rule, rng);
     }
 }
 
@@ -505,18 +552,19 @@ const BATCH: usize = 128;
 ///    write the pure majority decision.
 ///
 /// The phase split changes only the *order of memory reads*, never the RNG
-/// stream, so results stay bit-identical to [`update_chunk_kernel`] and the
-/// `dyn` fallback.
+/// stream, so results stay bit-identical to [`update_chunk_sampled`] and the
+/// `dyn` fallback.  Takes the raw CSR arrays (from [`Topology::as_csr`]),
+/// since this path only exists for topologies with materialised adjacency.
 fn update_chunk_batched<C: BatchCore, R: RngCore + ?Sized>(
     core: C,
-    graph: &CsrGraph,
+    offsets: &[usize],
+    neighbours: &[VertexId],
     snap: &PackedSnapshot,
     start: usize,
     out: &mut [Opinion],
     rng: &mut R,
 ) {
     let k = core.samples();
-    let (offsets, neighbours) = graph.as_csr();
     // One allocation per chunk (≤ 4096 vertices), reused across its blocks.
     let mut picks = vec![0usize; BATCH * k];
     let mut done = 0usize;
@@ -553,91 +601,75 @@ fn update_chunk_batched<C: BatchCore, R: RngCore + ?Sized>(
     }
 }
 
-/// The fixed-draw-count kernel specialised to the complete graph `K_n`.
-///
-/// On `K_n` the neighbour row of `v` is the identity sequence with a gap at
-/// `v` (`row[i] == i + (i >= v)`, pinned by a `CsrGraph` unit test), so the
-/// sampled neighbour is *computed* instead of gathered — the `Θ(n²)` CSR
-/// adjacency is never touched and the only memory read per sample is one
-/// L1-resident snapshot bit.  This is the single biggest lever on the
-/// paper's own workload (dense/complete graphs): it removes the per-sample
-/// DRAM miss entirely.  Draw order and sampled values stay exactly those of
-/// the generic path, so results remain bit-identical.
-fn update_chunk_complete<C: BatchCore, R: RngCore + ?Sized>(
+/// Routes one fixed-draw-count chunk to the best kernel the topology
+/// supports: topologies with materialised CSR arrays take the
+/// software-pipelined [`update_chunk_batched`] path (overlapping the
+/// adjacency cache misses), everything else the sampled path (whose
+/// "misses" are arithmetic or hash evaluations).  Both consume the RNG
+/// identically.
+#[inline]
+fn fixed_draw_chunk<C: BatchCore, T: Topology, R: RngCore + ?Sized>(
     core: C,
-    n: usize,
+    topo: &T,
     snap: &PackedSnapshot,
     start: usize,
     out: &mut [Opinion],
     rng: &mut R,
 ) {
-    let k = core.samples();
-    let deg = n - 1;
-    for (i, slot) in out.iter_mut().enumerate() {
-        let v = start + i;
-        let mut blues = 0usize;
-        for _ in 0..k {
-            let idx = sample_index(rng.next_u64(), deg);
-            let w = idx + usize::from(idx >= v);
-            blues += snap.is_blue(w) as usize;
-        }
-        *slot = core.decide(blues, snap.get(v));
+    if let Some((offsets, neighbours)) = topo.as_csr() {
+        update_chunk_batched(core, offsets, neighbours, snap, start, out, rng);
+    } else {
+        update_chunk_sampled(core, topo, snap, start, out, rng);
     }
 }
 
-/// Best-of-k with a reachable random tie coin, specialised to `K_n`
-/// (synthesised rows, coin interleaved in vertex order like the `dyn` path).
-fn update_chunk_coin_complete<R: RngCore + ?Sized>(
-    k: usize,
-    n: usize,
-    snap: &PackedSnapshot,
-    start: usize,
-    out: &mut [Opinion],
-    rng: &mut R,
-) {
-    let deg = n - 1;
-    for (i, slot) in out.iter_mut().enumerate() {
-        let v = start + i;
-        let mut blues = 0usize;
-        for _ in 0..k {
-            let idx = sample_index(rng.next_u64(), deg);
-            let w = idx + usize::from(idx >= v);
-            blues += snap.is_blue(w) as usize;
-        }
-        *slot = resolve_majority(blues, k, snap.get(v), TieRule::Random, rng);
-    }
-}
-
-/// Local majority specialised to `K_n`: every vertex sees all vertices but
-/// itself, so its blue-neighbour count is one popcount of the snapshot
-/// (hoisted out of the loop) minus its own bit — `O(n/64 + chunk)` instead
-/// of the `Θ(n · chunk)` row scan.  Counts equal the generic row scan's, so
-/// ties (and any tie coins) land identically.
-fn update_chunk_local_majority_complete<R: RngCore + ?Sized>(
-    tie_rule: TieRule,
-    snap: &PackedSnapshot,
-    start: usize,
-    out: &mut [Opinion],
-    rng: &mut R,
-) {
-    let total_blues = snap.blue_count();
-    let deg = snap.len() - 1;
-    for (i, slot) in out.iter_mut().enumerate() {
-        let v = start + i;
-        let blues = total_blues - snap.is_blue(v) as usize;
-        *slot = resolve_majority(blues, deg, snap.get(v), tie_rule, rng);
-    }
-}
-
-/// Statically dispatches one chunk to the monomorphized kernel for `kind`.
+/// Statically dispatches one chunk to the monomorphized kernel for `kind`
+/// on any [`Topology`].
 ///
-/// Fixed-draw-count protocols take the software-pipelined
-/// [`update_chunk_batched`] path; protocols with a reachable random tie coin
-/// (whose RNG consumption is data-dependent) and the full-neighbourhood
-/// local majority take the per-vertex [`update_chunk_kernel`] path.  On the
-/// complete graph every protocol switches to a synthesised-row kernel that
-/// never reads the `Θ(n²)` adjacency ([`update_chunk_complete`] and
-/// friends).
+/// Fixed-draw-count protocols take [`fixed_draw_chunk`] (batched on CSR,
+/// sampled elsewhere); protocols with a reachable random tie coin (whose
+/// RNG consumption is data-dependent) run strictly in vertex order through
+/// [`coin_chunk`] (row-hoisted on CSR, sampled elsewhere); the
+/// full-neighbourhood local majority runs
+/// [`update_chunk_local_majority`], which collapses to one snapshot
+/// popcount on complete topologies.
+pub(crate) fn dispatch_chunk_topology<T: Topology, R: RngCore + ?Sized>(
+    kind: ProtocolKind,
+    topo: &T,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+) {
+    match kind {
+        ProtocolKind::Voter => fixed_draw_chunk(VoterKernel, topo, snap, start, out, rng),
+        ProtocolKind::BestOfThree => {
+            fixed_draw_chunk(BestOfThreeKernel, topo, snap, start, out, rng)
+        }
+        ProtocolKind::BestOfTwo(TieRule::KeepOwn) => {
+            fixed_draw_chunk(BestOfKPureKernel { k: 2 }, topo, snap, start, out, rng)
+        }
+        ProtocolKind::BestOfTwo(TieRule::Random) => coin_chunk(2, topo, snap, start, out, rng),
+        ProtocolKind::BestOfK { k, tie_rule } if k % 2 == 1 || tie_rule == TieRule::KeepOwn => {
+            fixed_draw_chunk(BestOfKPureKernel { k }, topo, snap, start, out, rng)
+        }
+        ProtocolKind::BestOfK { k, .. } => coin_chunk(k, topo, snap, start, out, rng),
+        ProtocolKind::LocalMajority(tie_rule) => {
+            update_chunk_local_majority(tie_rule, topo, snap, start, out, rng)
+        }
+    }
+}
+
+/// The materialised-graph entry point used by [`crate::engine::Simulator`]
+/// and [`crate::parallel::ParallelSimulator`].
+///
+/// A materialised complete graph is routed through the implicit
+/// [`Complete`] topology — the one place the `is_complete` detection
+/// survives, turned from per-kernel special cases into a topology choice —
+/// so `K_n` keeps its synthesised rows (no `Θ(n²)` adjacency reads) and its
+/// popcount local majority.  Everything else flows through [`CsrTopology`]
+/// onto the batched CSR kernels.  Both routes consume the RNG exactly as
+/// before, so seeded results are unchanged.
 pub(crate) fn dispatch_chunk<R: RngCore + ?Sized>(
     kind: ProtocolKind,
     graph: &CsrGraph,
@@ -646,56 +678,11 @@ pub(crate) fn dispatch_chunk<R: RngCore + ?Sized>(
     out: &mut [Opinion],
     rng: &mut R,
 ) {
-    let n = graph.num_vertices();
     if graph.is_complete() {
-        match kind {
-            ProtocolKind::Voter => update_chunk_complete(VoterKernel, n, snap, start, out, rng),
-            ProtocolKind::BestOfThree => {
-                update_chunk_complete(BestOfThreeKernel, n, snap, start, out, rng)
-            }
-            ProtocolKind::BestOfTwo(TieRule::KeepOwn) => {
-                update_chunk_complete(BestOfKPureKernel { k: 2 }, n, snap, start, out, rng)
-            }
-            ProtocolKind::BestOfTwo(TieRule::Random) => {
-                update_chunk_coin_complete(2, n, snap, start, out, rng)
-            }
-            ProtocolKind::BestOfK { k, tie_rule } if k % 2 == 1 || tie_rule == TieRule::KeepOwn => {
-                update_chunk_complete(BestOfKPureKernel { k }, n, snap, start, out, rng)
-            }
-            ProtocolKind::BestOfK { k, .. } => {
-                update_chunk_coin_complete(k, n, snap, start, out, rng)
-            }
-            ProtocolKind::LocalMajority(tie_rule) => {
-                update_chunk_local_majority_complete(tie_rule, snap, start, out, rng)
-            }
-        }
-        return;
-    }
-    match kind {
-        ProtocolKind::Voter => update_chunk_batched(VoterKernel, graph, snap, start, out, rng),
-        ProtocolKind::BestOfThree => {
-            update_chunk_batched(BestOfThreeKernel, graph, snap, start, out, rng)
-        }
-        ProtocolKind::BestOfTwo(TieRule::KeepOwn) => {
-            update_chunk_batched(BestOfKPureKernel { k: 2 }, graph, snap, start, out, rng)
-        }
-        ProtocolKind::BestOfTwo(TieRule::Random) => {
-            update_chunk_kernel(BestOfKCoinKernel { k: 2 }, graph, snap, start, out, rng)
-        }
-        ProtocolKind::BestOfK { k, tie_rule } if k % 2 == 1 || tie_rule == TieRule::KeepOwn => {
-            update_chunk_batched(BestOfKPureKernel { k }, graph, snap, start, out, rng)
-        }
-        ProtocolKind::BestOfK { k, .. } => {
-            update_chunk_kernel(BestOfKCoinKernel { k }, graph, snap, start, out, rng)
-        }
-        ProtocolKind::LocalMajority(tie_rule) => update_chunk_kernel(
-            LocalMajorityKernel { tie_rule },
-            graph,
-            snap,
-            start,
-            out,
-            rng,
-        ),
+        let topo = Complete::new(graph.num_vertices()).expect("complete graphs have n >= 2");
+        dispatch_chunk_topology(kind, &topo, snap, start, out, rng);
+    } else {
+        dispatch_chunk_topology(kind, &CsrTopology::new(graph), snap, start, out, rng);
     }
 }
 

@@ -13,10 +13,13 @@
 //! * [`init`] — initial conditions, from the paper's i.i.d.
 //!   `Bernoulli(1/2 − δ)` start to adversarial placements;
 //! * [`engine`] / [`parallel`] — single-threaded and deterministic
-//!   multi-threaded steppers;
+//!   multi-threaded steppers over materialised graphs;
+//! * [`topology_sim`] — the topology-generic engine: seeded synchronous
+//!   runs over any [`bo3_graph::Topology`], including the implicit
+//!   (adjacency-free) families that make `n = 10⁶` routine;
 //! * [`kernel`] — monomorphized hot-path kernels (bit-packed snapshots,
-//!   batched RNG, static dispatch) that both steppers route built-in
-//!   protocols through;
+//!   batched RNG, static dispatch), generic over the topology, that every
+//!   engine routes built-in protocols through;
 //! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
 //!   statistics the experiments report;
 //! * [`trace`], [`schedule`], [`stopping`], [`config`] — supporting types.
@@ -53,6 +56,7 @@ pub mod protocol;
 pub mod schedule;
 pub mod stats;
 pub mod stopping;
+pub mod topology_sim;
 pub mod trace;
 
 /// Convenient re-exports of the types most callers need.
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use crate::schedule::Schedule;
     pub use crate::stats::{ProportionEstimate, Summary};
     pub use crate::stopping::{StopReason, StoppingCondition};
+    pub use crate::topology_sim::TopologySimulator;
     pub use crate::trace::{RoundRecord, Trace};
 }
 

@@ -13,9 +13,10 @@
 //! asynchronous-schedule ablation reads the live configuration and has no
 //! kernel counterpart; it stays on the per-vertex `dyn` path.)
 
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::CsrGraph;
+use bo3_graph::{CsrGraph, Topology};
 
 use crate::config::ProtocolSpec;
 use crate::engine::Simulator;
@@ -26,6 +27,7 @@ use crate::parallel::replica_rng;
 use crate::schedule::Schedule;
 use crate::stats::{ProportionEstimate, Summary};
 use crate::stopping::StoppingCondition;
+use crate::topology_sim::TopologySimulator;
 
 /// Outcome of one Monte-Carlo replica.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -123,6 +125,32 @@ impl MonteCarlo {
 
     /// Runs every replica and aggregates the results.
     pub fn run(&self, graph: &CsrGraph) -> Result<MonteCarloReport> {
+        self.run_replicas(&|replica| self.run_one(graph, replica))
+    }
+
+    /// Runs every replica on an implicit (or adapted) [`Topology`] and
+    /// aggregates the results — the scale path: replicas execute on the
+    /// topology-generic kernel engine and nothing `Θ(n²)` is ever touched.
+    ///
+    /// Restricted like [`crate::topology_sim::TopologySimulator`]: the
+    /// schedule must be synchronous (the asynchronous ablation reads live
+    /// rows through the materialised-graph path) and the initial condition
+    /// graph-free (see [`InitialCondition::sample_n`]).
+    pub fn run_on_topology<T: Topology>(&self, topo: &T) -> Result<MonteCarloReport> {
+        if self.schedule != Schedule::Synchronous {
+            return Err(crate::error::DynamicsError::InvalidParameter {
+                reason: "topology Monte-Carlo requires the synchronous schedule".into(),
+            });
+        }
+        self.run_replicas(&|replica| self.run_one_on_topology(topo, replica))
+    }
+
+    /// Shared replica driver: executes `run_one` for every replica index,
+    /// sequentially or across the worker pool, preserving replica order.
+    fn run_replicas(
+        &self,
+        run_one: &(dyn Fn(usize) -> Result<ReplicaOutcome> + Sync),
+    ) -> Result<MonteCarloReport> {
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -135,7 +163,7 @@ impl MonteCarlo {
         if threads <= 1 {
             let mut outcomes = Vec::with_capacity(self.replicas);
             for replica in 0..self.replicas {
-                outcomes.push(self.run_one(graph, replica)?);
+                outcomes.push(run_one(replica)?);
             }
             return Ok(MonteCarloReport::from_outcomes(outcomes));
         }
@@ -151,7 +179,7 @@ impl MonteCarlo {
                     if replica >= self.replicas {
                         break;
                     }
-                    let outcome = self.run_one(graph, replica);
+                    let outcome = run_one(replica);
                     results.lock()[replica] = Some(outcome);
                 });
             }
@@ -163,6 +191,35 @@ impl MonteCarlo {
             outcomes.push(slot.expect("replica not executed")?);
         }
         Ok(MonteCarloReport::from_outcomes(outcomes))
+    }
+
+    /// Runs a single replica on a topology (deterministic in
+    /// `(master_seed, replica)` — and, because the topology engine is
+    /// chunk-seeded, independent of every thread count involved).
+    pub fn run_one_on_topology<T: Topology>(
+        &self,
+        topo: &T,
+        replica: usize,
+    ) -> Result<ReplicaOutcome> {
+        if self.schedule != Schedule::Synchronous {
+            return Err(crate::error::DynamicsError::InvalidParameter {
+                reason: "topology Monte-Carlo requires the synchronous schedule".into(),
+            });
+        }
+        let mut rng = replica_rng(self.master_seed, replica as u64);
+        let initial = self.initial.sample_n(topo.n(), &mut rng)?;
+        // The replica stream hands the run its own master seed, mirroring
+        // how the graph path keeps consuming the replica RNG inside `run`.
+        let run_seed = rng.next_u64();
+        let simulator = TopologySimulator::new(topo)?.with_stopping(self.stopping);
+        let result = simulator.run(self.protocol.kind(), initial, run_seed)?;
+        Ok(ReplicaOutcome {
+            replica,
+            winner: result.winner,
+            rounds: result.rounds,
+            initial_blue_fraction: result.initial_blue_fraction,
+            final_blue_fraction: result.final_blue_fraction,
+        })
     }
 
     /// Runs a single replica (deterministic in `(master_seed, replica)`).
@@ -266,6 +323,38 @@ mod tests {
         for o in &report.outcomes {
             assert!(o.rounds <= 1);
         }
+    }
+
+    #[test]
+    fn topology_monte_carlo_sweeps_red_on_implicit_complete() {
+        let topo = bo3_graph::Complete::new(2_000).unwrap();
+        let mc = MonteCarlo::best_of_three(0.15, 12, 9);
+        let report = mc.run_on_topology(&topo).unwrap();
+        assert_eq!(report.outcomes.len(), 12);
+        assert!((report.consensus_rate - 1.0).abs() < 1e-12);
+        let red = report.red_win.unwrap();
+        assert_eq!(red.successes, red.trials, "red should win every replica");
+    }
+
+    #[test]
+    fn topology_monte_carlo_is_thread_count_independent() {
+        let topo = bo3_graph::ImplicitGnp::new(1_500, 0.4, 31).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.12, 8, 5);
+        mc.threads = 1;
+        let seq = mc.run_on_topology(&topo).unwrap();
+        mc.threads = 4;
+        let par = mc.run_on_topology(&topo).unwrap();
+        assert_eq!(seq.outcomes, par.outcomes);
+    }
+
+    #[test]
+    fn topology_monte_carlo_rejects_the_asynchronous_schedule() {
+        let topo = bo3_graph::Complete::new(50).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.1, 2, 0);
+        mc.schedule = Schedule::AsynchronousRandomOrder;
+        assert!(mc.run_on_topology(&topo).is_err());
+        // The single-replica entry point honours the same restriction.
+        assert!(mc.run_one_on_topology(&topo, 0).is_err());
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! identical regardless of how many worker threads run the chunks.  This is
 //! the property the engine ablation (sequential vs. parallel stepper) checks.
 //!
-//! Built-in protocols run each chunk through the monomorphized kernels of
-//! [`crate::kernel`] over a shared bit-packed snapshot; custom protocols use
-//! the generic [`update_chunk`] fallback.  Both consume the chunk RNG
-//! identically, so the determinism contract holds across paths.
+//! Built-in protocols run each chunk through the monomorphized
+//! topology-generic kernels of [`crate::kernel`] over a shared bit-packed
+//! snapshot (complete graphs as the implicit `Complete` topology, other
+//! graphs as `CsrTopology`); custom protocols use the generic
+//! [`update_chunk`] fallback.  Both consume the chunk RNG identically, so
+//! the determinism contract holds across paths.  The chunk scheduler
+//! ([`run_chunks`]) is shared with the adjacency-free
+//! [`crate::topology_sim::TopologySimulator`].
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -143,31 +147,9 @@ impl<'g> ParallelSimulator<'g> {
     }
 
     /// Runs `op` once per [`CHUNK_SIZE`] chunk of `next` across the worker
-    /// pool.  Chunks are statically assigned round-robin to workers before
-    /// spawning, so each worker owns a disjoint set of output slices
-    /// (lock-free) and the chunk → RNG mapping stays independent of the
-    /// thread count.
+    /// pool — see [`run_chunks`].
     fn run_chunks(&self, next: &mut [Opinion], op: &(dyn Fn(u64, usize, &mut [Opinion]) + Sync)) {
-        let workers = self.threads.max(1);
-        let mut per_thread: Vec<Vec<(usize, &mut [Opinion])>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (chunk, slice) in next.chunks_mut(CHUNK_SIZE).enumerate() {
-            per_thread[chunk % workers].push((chunk, slice));
-        }
-
-        crossbeam::thread::scope(|scope| {
-            for bucket in per_thread.drain(..) {
-                if bucket.is_empty() {
-                    continue;
-                }
-                scope.spawn(move |_| {
-                    for (chunk, out) in bucket {
-                        op(chunk as u64, chunk * CHUNK_SIZE, out);
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
+        run_chunks(self.threads, next, op);
     }
 
     /// Runs the dynamics from `initial` until the stopping condition fires,
@@ -206,6 +188,40 @@ impl<'g> ParallelSimulator<'g> {
             },
         ))
     }
+}
+
+/// Runs `op` once per [`CHUNK_SIZE`] chunk of `next` across `threads`
+/// scoped workers.  Chunks are statically assigned round-robin to workers
+/// before spawning, so each worker owns a disjoint set of output slices
+/// (lock-free) and the chunk → RNG mapping stays independent of the thread
+/// count.  Shared by [`ParallelSimulator`] and the topology-generic
+/// [`crate::topology_sim::TopologySimulator`], so the two steppers cannot
+/// drift in chunk scheduling.
+pub(crate) fn run_chunks(
+    threads: usize,
+    next: &mut [Opinion],
+    op: &(dyn Fn(u64, usize, &mut [Opinion]) + Sync),
+) {
+    let workers = threads.max(1);
+    let mut per_thread: Vec<Vec<(usize, &mut [Opinion])>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (chunk, slice) in next.chunks_mut(CHUNK_SIZE).enumerate() {
+        per_thread[chunk % workers].push((chunk, slice));
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for bucket in per_thread.drain(..) {
+            if bucket.is_empty() {
+                continue;
+            }
+            scope.spawn(move |_| {
+                for (chunk, out) in bucket {
+                    op(chunk as u64, chunk * CHUNK_SIZE, out);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
 }
 
 /// Applies `protocol` to the vertices `start..start + out.len()`, reading

@@ -1,0 +1,355 @@
+//! The topology-generic simulation engine.
+//!
+//! [`TopologySimulator`] runs the built-in protocols on anything
+//! implementing [`bo3_graph::Topology`] — materialised CSR graphs through
+//! the [`bo3_graph::CsrTopology`] adapter, or the *implicit* topologies
+//! (`Complete`, `ImplicitGnp`, `ImplicitSbm`, …) that never allocate
+//! adjacency, which is what lets a single machine run Best-of-Three to
+//! consensus on `n = 10⁶` and beyond: the whole working set is the two
+//! opinion buffers plus one bit-packed snapshot, all `O(n)`.
+//!
+//! Compared to [`crate::engine::Simulator`] this engine is narrower on
+//! purpose: it takes a [`ProtocolKind`] (custom `dyn Protocol` registry
+//! entries read neighbour rows through `UpdateContext`, which only a
+//! materialised graph can provide) and it is always seeded and synchronous.
+//! In exchange it is fully generic: the monomorphized kernels of
+//! [`crate::kernel`] inline the topology's neighbour sampling into the
+//! per-vertex loop, so an implicit complete graph pays two arithmetic ops
+//! per sample where a CSR graph pays a DRAM gather.
+//!
+//! # Determinism
+//!
+//! Rounds derive one RNG per `(master_seed, round, chunk)` work unit via
+//! [`crate::kernel::kernel_chunk_rng`] and schedule chunks with the same
+//! round-robin used by [`crate::parallel::ParallelSimulator`], so a run is
+//! **bit-for-bit identical at any thread count**, and a run on
+//! [`bo3_graph::CsrTopology`] is bit-identical to
+//! `Simulator::run_seeded` / `ParallelSimulator::run` on the underlying
+//! graph (the kernel-equivalence suite pins both properties).
+
+use bo3_graph::Topology;
+
+use crate::engine::{drive, RunResult};
+use crate::error::{DynamicsError, Result};
+use crate::kernel::{self, PackedSnapshot, ProtocolKind};
+use crate::opinion::{Configuration, Opinion};
+use crate::stopping::StoppingCondition;
+
+/// Seeded synchronous simulator over any [`Topology`], sequential or
+/// multi-threaded.
+pub struct TopologySimulator<T: Topology> {
+    topo: T,
+    stopping: StoppingCondition,
+    threads: usize,
+    record_trace: bool,
+}
+
+impl<T: Topology> TopologySimulator<T> {
+    /// Creates a simulator over `topo` (owned or borrowed — `&T` is itself a
+    /// topology) with the default stop-at-consensus behaviour, running
+    /// single-threaded until [`TopologySimulator::with_threads`] says
+    /// otherwise.
+    ///
+    /// Fails on the empty topology.  Topology constructors guarantee no
+    /// isolated vertices for the closed-form families; hash-defined
+    /// topologies (`ImplicitGnp`, `ImplicitSbm`) cannot be checked without
+    /// `Θ(n²)` work and instead panic from sampling if run outside their
+    /// dense regime.
+    pub fn new(topo: T) -> Result<Self> {
+        if topo.n() == 0 {
+            return Err(DynamicsError::InvalidGraph {
+                reason: "cannot run dynamics on the empty topology".into(),
+            });
+        }
+        Ok(TopologySimulator {
+            topo,
+            stopping: StoppingCondition::default(),
+            threads: 1,
+            record_trace: false,
+        })
+    }
+
+    /// Sets the stopping condition.
+    pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Sets the worker thread count (`0` means "number of available CPUs").
+    /// The result does not depend on this — only the wall clock does.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Enables or disables per-round trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Number of worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One deterministic synchronous round: reads `current`, writes the next
+    /// opinions into `next` (cleared and refilled).  `master_seed` and
+    /// `round` feed the per-chunk RNG derivation.
+    pub fn step(
+        &self,
+        kind: ProtocolKind,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_into(kind, current, next, master_seed, round, &mut snap);
+    }
+
+    /// [`TopologySimulator::step`] with a caller-owned snapshot buffer, so
+    /// repeated rounds repack in place instead of allocating.
+    fn step_into(
+        &self,
+        kind: ProtocolKind,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+        snap: &mut PackedSnapshot,
+    ) {
+        let prev = current.as_slice();
+        next.clear();
+        next.resize(prev.len(), Opinion::Red);
+        snap.repack_from(prev);
+        let snap_ref = &*snap;
+        let topo = &self.topo;
+        crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
+            kernel::dispatch_chunk_topology(kind, topo, snap_ref, start, out, &mut rng);
+        });
+    }
+
+    /// Runs the synchronous dynamics from `initial` until the stopping
+    /// condition fires, with all randomness derived from `master_seed`.
+    ///
+    /// Refuses full-neighbourhood protocols on huge hash-defined topologies
+    /// (no [`Topology::cheap_rows`]): enumerating their rows tests all
+    /// `n − 1` candidate pairs per vertex, `Θ(n²)` per round, so — matching
+    /// the `GraphError::TooLarge` policy of the graph-side diagnostics —
+    /// that combination is a typed error past
+    /// [`bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT`] instead of an open-ended
+    /// grind.
+    pub fn run(
+        &self,
+        kind: ProtocolKind,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        if initial.len() != self.topo.n() {
+            return Err(DynamicsError::OpinionLengthMismatch {
+                got: initial.len(),
+                expected: self.topo.n(),
+            });
+        }
+        if matches!(kind, ProtocolKind::LocalMajority(_))
+            && !self.topo.is_all_but_self()
+            && !self.topo.cheap_rows()
+            && self.topo.n() > bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
+        {
+            return Err(DynamicsError::InvalidParameter {
+                reason: format!(
+                    "local majority on {} enumerates all n-1 candidate pairs per vertex \
+                     (Theta(n^2) per round); refusing beyond {} vertices",
+                    self.topo.label(),
+                    bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
+                ),
+            });
+        }
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        let mut snap = PackedSnapshot::all_red(0);
+        Ok(drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, round| {
+                self.step_into(
+                    kind,
+                    config,
+                    &mut scratch,
+                    master_seed,
+                    round as u64,
+                    &mut snap,
+                );
+                config.overwrite_from(&scratch);
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitialCondition;
+    use bo3_graph::{Complete, CompleteBipartite, ImplicitGnp, ImplicitSbm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn biased_init(n: usize, delta: f64, seed: u64) -> Configuration {
+        let mut rng = StdRng::seed_from_u64(seed);
+        InitialCondition::BernoulliWithBias { delta }
+            .sample_n(n, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_initial_configuration() {
+        let sim = TopologySimulator::new(Complete::new(10).unwrap()).unwrap();
+        assert!(matches!(
+            sim.run(ProtocolKind::BestOfThree, Configuration::all_red(4), 0),
+            Err(DynamicsError::OpinionLengthMismatch {
+                got: 4,
+                expected: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn best_of_three_reaches_red_consensus_on_implicit_complete() {
+        let n = 3_000;
+        let sim = TopologySimulator::new(Complete::new(n).unwrap())
+            .unwrap()
+            .with_trace(true);
+        let res = sim
+            .run(ProtocolKind::BestOfThree, biased_init(n, 0.12, 1), 7)
+            .unwrap();
+        assert!(res.red_won(), "stop reason {:?}", res.stop_reason);
+        assert!(res.rounds <= 30, "took {} rounds", res.rounds);
+        assert_eq!(res.trace.unwrap().len(), res.rounds + 1);
+    }
+
+    #[test]
+    fn implicit_gnp_converges_and_is_reproducible() {
+        let n = 2_000;
+        let topo = ImplicitGnp::new(n, 0.3, 11).unwrap();
+        let sim = TopologySimulator::new(topo).unwrap().with_trace(true);
+        let init = biased_init(n, 0.12, 2);
+        let a = sim.run(ProtocolKind::BestOfThree, init.clone(), 5).unwrap();
+        let b = sim.run(ProtocolKind::BestOfThree, init, 5).unwrap();
+        assert_eq!(a, b);
+        assert!(a.red_won());
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let n = 9_000; // spans multiple 4096-vertex chunks
+        let topo = ImplicitSbm::new(n, 3, 0.4, 0.2, 21).unwrap();
+        let init = biased_init(n, 0.08, 3);
+        let run_with = |threads: usize| {
+            TopologySimulator::new(topo)
+                .unwrap()
+                .with_threads(threads)
+                .with_trace(true)
+                .run(ProtocolKind::BestOfThree, init.clone(), 99)
+                .unwrap()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2));
+        assert_eq!(one, run_with(8));
+        assert!(one.reached_consensus());
+    }
+
+    #[test]
+    fn every_builtin_kind_runs_on_an_implicit_topology() {
+        use crate::protocol::TieRule;
+        let n = 600;
+        let topo = CompleteBipartite::new(300, 300).unwrap();
+        let init = biased_init(n, 0.1, 4);
+        for kind in [
+            ProtocolKind::Voter,
+            ProtocolKind::BestOfTwo(TieRule::KeepOwn),
+            ProtocolKind::BestOfTwo(TieRule::Random),
+            ProtocolKind::BestOfThree,
+            ProtocolKind::BestOfK {
+                k: 5,
+                tie_rule: TieRule::KeepOwn,
+            },
+            ProtocolKind::BestOfK {
+                k: 4,
+                tie_rule: TieRule::Random,
+            },
+            ProtocolKind::LocalMajority(TieRule::KeepOwn),
+        ] {
+            let sim = TopologySimulator::new(topo)
+                .unwrap()
+                .with_stopping(StoppingCondition::fixed_rounds(3));
+            let res = sim.run(kind, init.clone(), 13).unwrap();
+            assert_eq!(res.rounds, 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn huge_hash_defined_local_majority_is_refused() {
+        // Enumerating an ImplicitGnp row is Θ(n) per vertex, so local
+        // majority at scale would be an unbounded Θ(n²)-per-round grind;
+        // the engine must refuse it with a typed error (cheap topologies
+        // and sampling protocols at the same size stay allowed).
+        let n = bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT + 1;
+        let gnp = ImplicitGnp::new(n, 0.5, 1).unwrap();
+        let sim = TopologySimulator::new(gnp)
+            .unwrap()
+            .with_stopping(StoppingCondition::fixed_rounds(1));
+        let init = Configuration::all_red(n);
+        assert!(matches!(
+            sim.run(
+                ProtocolKind::LocalMajority(crate::protocol::TieRule::KeepOwn),
+                init.clone(),
+                0
+            ),
+            Err(DynamicsError::InvalidParameter { .. })
+        ));
+        // The complete topology at the same size is fine (popcount path).
+        let complete_sim = TopologySimulator::new(Complete::new(n).unwrap())
+            .unwrap()
+            .with_stopping(StoppingCondition::fixed_rounds(1));
+        assert!(complete_sim
+            .run(
+                ProtocolKind::LocalMajority(crate::protocol::TieRule::KeepOwn),
+                init,
+                0
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn borrowed_topology_runs_too() {
+        let topo = Complete::new(500).unwrap();
+        let sim = TopologySimulator::new(&topo).unwrap();
+        let res = sim
+            .run(ProtocolKind::BestOfThree, biased_init(500, 0.15, 5), 3)
+            .unwrap();
+        assert!(res.reached_consensus());
+        assert_eq!(sim.topology().n(), 500);
+    }
+
+    #[test]
+    fn single_step_matches_configuration_size() {
+        let sim = TopologySimulator::new(Complete::new(100).unwrap()).unwrap();
+        let init = biased_init(100, 0.1, 6);
+        let mut next = Vec::new();
+        sim.step(ProtocolKind::BestOfThree, &init, &mut next, 5, 0);
+        assert_eq!(next.len(), 100);
+    }
+}

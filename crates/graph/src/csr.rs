@@ -215,6 +215,17 @@ impl CsrGraph {
         }
     }
 
+    /// Bytes of memory held by the CSR arrays (plus the struct header).
+    ///
+    /// This is the materialised-adjacency footprint the implicit topologies
+    /// in [`crate::topology`] exist to avoid — `Θ(n²)` on the dense graphs
+    /// the paper targets — and is what the scale experiment reports
+    /// alongside each topology's own `memory_bytes`.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.offsets.len() + self.neighbours.len()) * std::mem::size_of::<usize>()
+    }
+
     /// Returns the raw CSR arrays `(offsets, neighbours)`.
     pub fn as_csr(&self) -> (&[usize], &[VertexId]) {
         (&self.offsets, &self.neighbours)
@@ -447,6 +458,23 @@ mod tests {
         // by io.rs is covered there; here check Clone/Eq semantics instead.
         let h = g.clone();
         assert_eq!(g, h);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_the_adjacency() {
+        let small = generators::complete(10);
+        let big = generators::complete(100);
+        // K_n stores n(n-1) directed arcs plus n+1 offsets, one word each.
+        let arcs_and_offsets = |n: usize| (n * (n - 1) + n + 1) * std::mem::size_of::<usize>();
+        assert_eq!(
+            small.memory_bytes() - std::mem::size_of::<CsrGraph>(),
+            arcs_and_offsets(10)
+        );
+        assert_eq!(
+            big.memory_bytes() - std::mem::size_of::<CsrGraph>(),
+            arcs_and_offsets(100)
+        );
+        assert!(big.memory_bytes() > 90 * small.memory_bytes());
     }
 
     #[test]

@@ -41,6 +41,18 @@ pub enum GraphError {
     },
     /// The operation requires a non-empty graph.
     EmptyGraph,
+    /// A whole-graph analysis was refused because the graph exceeds the
+    /// dense-analysis size limit (see
+    /// [`crate::DENSE_ANALYSIS_VERTEX_LIMIT`]); these operations cost
+    /// `Θ(n²)` on dense graphs and must not be attempted at scale.
+    TooLarge {
+        /// Number of vertices in the offending graph.
+        n: usize,
+        /// The configured limit.
+        limit: usize,
+        /// The refused operation, for the error message.
+        operation: &'static str,
+    },
     /// The operation requires every vertex to have at least one neighbour.
     IsolatedVertex {
         /// The isolated vertex.
@@ -74,6 +86,14 @@ impl fmt::Display for GraphError {
             }
             GraphError::Io { reason } => write!(f, "io error: {reason}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::TooLarge {
+                n,
+                limit,
+                operation,
+            } => write!(
+                f,
+                "refusing {operation} on {n} vertices (dense-analysis limit is {limit})"
+            ),
             GraphError::IsolatedVertex { vertex } => {
                 write!(f, "vertex {vertex} has no neighbours")
             }
@@ -138,6 +158,19 @@ mod tests {
             GraphError::Io { reason } => assert!(reason.contains("missing")),
             other => panic!("unexpected variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn display_too_large_names_the_operation_and_limit() {
+        let e = GraphError::TooLarge {
+            n: 1_000_000,
+            limit: 100_000,
+            operation: "spectral estimation",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("spectral estimation"));
+        assert!(msg.contains("1000000"));
+        assert!(msg.contains("100000"));
     }
 
     #[test]

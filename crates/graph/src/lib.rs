@@ -16,6 +16,10 @@
 //!   plus sparse negative controls (cycles, grids, hypercubes, barbells);
 //! * [`sampling`] — uniform with-replacement neighbour sampling (the paper's
 //!   model) and alias tables for weighted distributions;
+//! * [`topology`] — the [`Topology`] trait and its *implicit* (procedural)
+//!   implementations: dense graph families defined by arithmetic or a
+//!   deterministic pairwise hash, so million-vertex complete / `G(n, p)` /
+//!   SBM instances never materialise a single edge;
 //! * [`degree`], [`spectral`], [`traversal`], [`properties`] — the
 //!   diagnostics used to check that generated instances actually satisfy the
 //!   hypotheses of Theorem 1 (minimum degree `n^α`) or of the competing
@@ -46,9 +50,24 @@ pub mod io;
 pub mod properties;
 pub mod sampling;
 pub mod spectral;
+pub mod topology;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::{GraphError, Result};
 pub use sampling::NeighbourSampler;
+pub use topology::{
+    Complete, CompleteBipartite, CompleteMultipartite, CsrTopology, ImplicitGnp, ImplicitSbm,
+    Topology,
+};
+
+/// Largest vertex count the dense whole-graph analyses (`spectral::lambda2`,
+/// clustering/triangle scans, implicit-topology materialisation) will accept.
+///
+/// These diagnostics do work proportional to `n²` (or to `m`, which is
+/// `Θ(n²)` in the dense regime this crate targets); beyond this size they
+/// return [`GraphError::TooLarge`] instead of silently attempting hours of
+/// work or terabytes of allocation.  Million-vertex experiments use the
+/// implicit [`topology`] layer, whose closed forms need none of them.
+pub const DENSE_ANALYSIS_VERTEX_LIMIT: usize = 100_000;

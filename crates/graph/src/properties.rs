@@ -3,6 +3,21 @@
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
 
+/// Guard shared by the whole-graph scans below: on the dense graphs this
+/// crate targets they cost `Θ(n²)` (or worse), so huge inputs get a typed
+/// error instead of an open-ended grind.
+fn check_dense_analysis_size(graph: &CsrGraph, operation: &'static str) -> Result<()> {
+    let n = graph.num_vertices();
+    if n > crate::DENSE_ANALYSIS_VERTEX_LIMIT {
+        return Err(GraphError::TooLarge {
+            n,
+            limit: crate::DENSE_ANALYSIS_VERTEX_LIMIT,
+            operation,
+        });
+    }
+    Ok(())
+}
+
 /// Edge density `m / (n choose 2)`; `0.0` for graphs with fewer than two vertices.
 pub fn density(graph: &CsrGraph) -> f64 {
     let n = graph.num_vertices();
@@ -61,6 +76,7 @@ pub fn local_clustering(graph: &CsrGraph, v: usize) -> Result<f64> {
 
 /// Average local clustering coefficient over all vertices.
 pub fn average_clustering(graph: &CsrGraph) -> Result<f64> {
+    check_dense_analysis_size(graph, "average clustering")?;
     let n = graph.num_vertices();
     if n == 0 {
         return Err(GraphError::EmptyGraph);
@@ -73,7 +89,8 @@ pub fn average_clustering(graph: &CsrGraph) -> Result<f64> {
 }
 
 /// Total number of triangles in the graph.
-pub fn triangle_count(graph: &CsrGraph) -> usize {
+pub fn triangle_count(graph: &CsrGraph) -> Result<usize> {
+    check_dense_analysis_size(graph, "triangle counting")?;
     let mut total = 0usize;
     for v in graph.vertices() {
         // Count each triangle once: only consider neighbours greater than v.
@@ -89,7 +106,7 @@ pub fn triangle_count(graph: &CsrGraph) -> usize {
             }
         }
     }
-    total
+    Ok(total)
 }
 
 /// Degeneracy (the largest `k` such that some subgraph has minimum degree `k`),
@@ -172,8 +189,21 @@ mod tests {
     #[test]
     fn triangle_count_of_complete_graph() {
         // K_5 has C(5,3) = 10 triangles.
-        assert_eq!(triangle_count(&generators::complete(5)), 10);
-        assert_eq!(triangle_count(&generators::cycle(6).unwrap()), 0);
+        assert_eq!(triangle_count(&generators::complete(5)).unwrap(), 10);
+        assert_eq!(triangle_count(&generators::cycle(6).unwrap()).unwrap(), 0);
+    }
+
+    #[test]
+    fn whole_graph_scans_refuse_huge_inputs_with_a_typed_error() {
+        let g = generators::cycle(crate::DENSE_ANALYSIS_VERTEX_LIMIT + 1).unwrap();
+        assert!(matches!(
+            triangle_count(&g),
+            Err(GraphError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            average_clustering(&g),
+            Err(GraphError::TooLarge { .. })
+        ));
     }
 
     #[test]

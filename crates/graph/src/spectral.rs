@@ -159,6 +159,17 @@ pub fn lambda2<R: Rng + ?Sized>(
     if n == 0 {
         return Err(GraphError::EmptyGraph);
     }
+    // Each power-iteration step touches every arc; on the dense graphs this
+    // crate targets that is Θ(n²) per iteration, so refuse huge inputs
+    // instead of grinding for hours (million-vertex experiments run on the
+    // implicit topology layer, which has closed-form spectra anyway).
+    if n > crate::DENSE_ANALYSIS_VERTEX_LIMIT {
+        return Err(GraphError::TooLarge {
+            n,
+            limit: crate::DENSE_ANALYSIS_VERTEX_LIMIT,
+            operation: "spectral estimation (lambda2)",
+        });
+    }
     for v in graph.vertices() {
         if graph.degree(v) == 0 {
             return Err(GraphError::IsolatedVertex { vertex: v });
@@ -265,6 +276,21 @@ mod tests {
             .build()
             .unwrap();
         assert!(lambda2(&iso, PowerIterationOptions::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn lambda2_refuses_huge_graphs_with_a_typed_error() {
+        // A long cycle is cheap to build (O(n) memory) but over the
+        // dense-analysis limit, so the guard must fire before any work.
+        let g = generators::cycle(crate::DENSE_ANALYSIS_VERTEX_LIMIT + 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        match lambda2(&g, PowerIterationOptions::default(), &mut rng) {
+            Err(GraphError::TooLarge { n, limit, .. }) => {
+                assert_eq!(n, crate::DENSE_ANALYSIS_VERTEX_LIMIT + 1);
+                assert_eq!(limit, crate::DENSE_ANALYSIS_VERTEX_LIMIT);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 
     #[test]

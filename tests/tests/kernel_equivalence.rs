@@ -175,6 +175,105 @@ fn dyn_fallback_path_honours_the_seeded_determinism_contract() {
 }
 
 #[test]
+fn csr_topology_is_bit_identical_to_the_csr_kernel_path() {
+    // The topology-generic engine over `CsrTopology` must reproduce the
+    // seeded CSR kernel path bit for bit: same per-(seed, round, chunk) RNG
+    // streams, same Lemire-reduced draws, same results — on every graph
+    // family and every built-in protocol.  This pins the Topology layer as
+    // a pure refactoring of the materialised path.
+    for (graph_name, graph) in &graphs() {
+        let init = biased_init(graph, 17);
+        let via_graph_engine = |protocol: &dyn Protocol| {
+            Simulator::new(graph)
+                .expect("simulator")
+                .with_stopping(StoppingCondition::fixed_rounds(8))
+                .with_trace(true)
+                .run_seeded(protocol, init.clone(), MASTER_SEED)
+                .expect("seeded run")
+        };
+        let via_topology_engine = |kind: ProtocolKind, threads: usize| {
+            TopologySimulator::new(bo3_graph::CsrTopology::new(graph))
+                .expect("topology simulator")
+                .with_threads(threads)
+                .with_stopping(StoppingCondition::fixed_rounds(8))
+                .with_trace(true)
+                .run(kind, init.clone(), MASTER_SEED)
+                .expect("topology run")
+        };
+        for (name, kernel_side, _) in &protocol_pairs() {
+            let kind = kernel_side.kind().expect("built-in protocol");
+            let reference = via_graph_engine(kernel_side.as_ref());
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    reference,
+                    via_topology_engine(kind, threads),
+                    "{name} on {graph_name}: CsrTopology diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn implicit_complete_matches_the_materialised_complete_graph() {
+    // The `Complete` topology and a materialised K_n must be the *same
+    // seeded experiment*: the kernels synthesise identical rows from both,
+    // so whole runs agree bit for bit — adjacency allocation is the only
+    // difference.  (`n` spans multiple chunks to exercise the chunked RNG.)
+    let n = 9_500;
+    let graph = bo3_graph::generators::complete(n);
+    let init = biased_init(&graph, 19);
+    for (name, kernel_side, _) in &protocol_pairs() {
+        let kind = kernel_side.kind().expect("built-in protocol");
+        let materialised = Simulator::new(&graph)
+            .expect("simulator")
+            .with_stopping(StoppingCondition::fixed_rounds(6))
+            .with_trace(true)
+            .run_seeded(kernel_side.as_ref(), init.clone(), MASTER_SEED)
+            .expect("materialised run");
+        let implicit = TopologySimulator::new(bo3_graph::Complete::new(n).expect("topology"))
+            .expect("topology simulator")
+            .with_stopping(StoppingCondition::fixed_rounds(6))
+            .with_trace(true)
+            .run(kind, init.clone(), MASTER_SEED)
+            .expect("implicit run");
+        assert_eq!(
+            materialised, implicit,
+            "{name}: implicit K_n diverged from materialised K_n"
+        );
+    }
+}
+
+#[test]
+fn implicit_gnp_agrees_with_its_own_materialisation() {
+    // An implicit G(n, p) names a frozen edge set; materialising that same
+    // edge set and running the (differently-sampled) CSR path must agree on
+    // the dynamics' *distributional* behaviour, and the local-majority
+    // protocol — which enumerates neighbourhoods instead of sampling — must
+    // agree bit for bit, since both paths see identical rows.
+    let topo = bo3_graph::ImplicitGnp::new(2_500, 0.3, 23).expect("implicit gnp");
+    let graph = topo.materialize().expect("materialise");
+    let init = biased_init(&graph, 29);
+    let kind = ProtocolKind::LocalMajority(TieRule::KeepOwn);
+    let materialised = Simulator::new(&graph)
+        .expect("simulator")
+        .with_stopping(StoppingCondition::fixed_rounds(4))
+        .with_trace(true)
+        .run_seeded(&LocalMajority::keep_own(), init.clone(), MASTER_SEED)
+        .expect("materialised run");
+    let implicit = TopologySimulator::new(topo)
+        .expect("topology simulator")
+        .with_stopping(StoppingCondition::fixed_rounds(4))
+        .with_trace(true)
+        .run(kind, init, MASTER_SEED)
+        .expect("implicit run");
+    assert_eq!(
+        materialised, implicit,
+        "local majority must agree bit-for-bit between implicit and materialised G(n,p)"
+    );
+}
+
+#[test]
 fn full_convergence_agrees_between_paths() {
     // Beyond fixed-round trajectories: let Best-of-3 run to consensus on a
     // multi-chunk graph and require identical stop reason, winner, round

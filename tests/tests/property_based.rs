@@ -159,6 +159,54 @@ proptest! {
     }
 
     #[test]
+    fn implicit_gnp_matches_the_materialized_generator_distributionally(
+        n in 60usize..160,
+        p_milli in 150u32..850,
+        seed in any::<u64>(),
+    ) {
+        use bo3_graph::{ImplicitGnp, Topology};
+        let p = p_milli as f64 / 1000.0;
+        let topo = ImplicitGnp::new(n, p, seed).unwrap();
+        let g = topo.materialize().unwrap();
+
+        // The frozen edge set satisfies every CSR invariant.
+        let (nn, offsets, neighbours) = g.clone().into_csr();
+        prop_assert_eq!(CsrGraph::from_csr(nn, offsets, neighbours).unwrap(), g.clone());
+
+        // Exact agreement between the implicit views and the materialisation.
+        for v in 0..n {
+            prop_assert_eq!(topo.degree(v), g.degree(v));
+        }
+
+        // Distributional agreement with the materialised erdos_renyi_gnp
+        // generator: both draw Binomial(C(n,2), p) edge counts, so the two
+        // realisations must sit within a few standard deviations of the
+        // shared mean (5.5 sigma each side keeps the flake rate negligible
+        // across the proptest case budget).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let reference = bo3_graph::generators::erdos_renyi_gnp(n, p, &mut rng).unwrap();
+        let pairs = (n * (n - 1) / 2) as f64;
+        let mean = p * pairs;
+        let sd = (pairs * p * (1.0 - p)).sqrt();
+        for (label, edges) in [("implicit", g.num_edges()), ("materialized", reference.num_edges())] {
+            prop_assert!(
+                (edges as f64 - mean).abs() <= 5.5 * sd + 1.0,
+                "{} G({}, {}) has {} edges, expected {} +- {}",
+                label, n, p, edges, mean, sd
+            );
+        }
+
+        // Neighbour sampling lands on actual neighbours of the frozen set.
+        let mut draw_rng = StdRng::seed_from_u64(seed ^ 0x5A17);
+        for v in 0..n.min(16) {
+            if g.degree(v) > 0 {
+                let w = topo.sample_neighbour(v, &mut draw_rng);
+                prop_assert!(g.has_edge(v, w), "sampled non-neighbour {} of {}", w, v);
+            }
+        }
+    }
+
+    #[test]
     fn run_results_are_internally_consistent(n in 50usize..300, delta_milli in 10u32..300, seed in any::<u64>()) {
         let delta = delta_milli as f64 / 1000.0;
         let g = bo3_graph::generators::complete(n);
