@@ -18,17 +18,14 @@ fn bench(c: &mut Criterion) {
                     tie_rule: TieRule::KeepOwn,
                 }
             };
-            let exp = Experiment {
-                name: format!("bench/k={k}"),
-                graph: GraphSpec::RandomRegular { n: 4_000, d: 32 },
-                protocol,
-                initial: InitialCondition::BernoulliWithBias { delta: 0.04 },
-                schedule: Schedule::Synchronous,
-                stopping: StoppingCondition::consensus_within(20_000),
-                replicas: 1,
-                seed: 0xB12,
-                threads: 1,
-            };
+            let exp = Experiment::on(GraphSpec::RandomRegular { n: 4_000, d: 32 })
+                .named(format!("bench/k={k}"))
+                .protocol(protocol)
+                .initial(InitialCondition::BernoulliWithBias { delta: 0.04 })
+                .stopping(StoppingCondition::consensus_within(20_000))
+                .replicas(1)
+                .seed(0xB12)
+                .threads(1);
             let graph = exp.build_graph().expect("graph");
             b.iter(|| exp.run_on(&graph).expect("run"));
         });

@@ -69,7 +69,7 @@ fn write_snapshot() {
         }
         body.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"n\": {}, \"topology_bytes\": {}, \
-             \"csr_equivalent_bytes\": {}, \"rounds\": {}, \"stop\": \"{:?}\", \
+             \"csr_equivalent_bytes\": {}, \"rounds\": {}, \"stop\": \"{}\", \
              \"final_blue_fraction\": {:.6}, \"wall_seconds\": {:.3}, \
              \"updates_per_sec\": {:.0}}}",
             r.label,
@@ -77,7 +77,7 @@ fn write_snapshot() {
             r.topology_bytes,
             r.csr_equivalent_bytes,
             r.rounds,
-            r.stop_reason,
+            r.stop,
             r.final_blue_fraction,
             r.wall_seconds,
             r.updates_per_sec,

@@ -13,17 +13,14 @@ fn bench(c: &mut Criterion) {
         ("best_of_three", ProtocolSpec::BestOfThree, 50_000),
     ] {
         group.bench_function(BenchmarkId::new("single_replica", label), |b| {
-            let exp = Experiment {
-                name: "bench/e5".into(),
-                graph: GraphSpec::Complete { n: 80 },
-                protocol,
-                initial: InitialCondition::ExactCount { blue: 32 },
-                schedule: Schedule::Synchronous,
-                stopping: StoppingCondition::consensus_within(cap),
-                replicas: 1,
-                seed: 0xB5,
-                threads: 1,
-            };
+            let exp = Experiment::on(GraphSpec::Complete { n: 80 })
+                .named("bench/e5")
+                .protocol(protocol)
+                .initial(InitialCondition::ExactCount { blue: 32 })
+                .stopping(StoppingCondition::consensus_within(cap))
+                .replicas(1)
+                .seed(0xB5)
+                .threads(1);
             let graph = exp.build_graph().expect("graph");
             b.iter(|| exp.run_on(&graph).expect("run"));
         });

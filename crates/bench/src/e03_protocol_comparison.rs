@@ -33,25 +33,21 @@ pub fn run(scale: Scale) -> Table {
     let mut results = Vec::new();
     for (label, protocol) in comparison_protocols() {
         let is_voter = matches!(protocol, ProtocolSpec::Voter);
-        let experiment = Experiment {
-            name: format!("E3/{label}"),
-            graph: GraphSpec::DenseForAlpha { n, alpha: 0.75 },
-            protocol,
-            initial: InitialCondition::BernoulliWithBias { delta },
-            schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(if is_voter {
+        let experiment = Experiment::on(GraphSpec::DenseForAlpha { n, alpha: 0.75 })
+            .named(format!("E3/{label}"))
+            .protocol(protocol)
+            .initial(InitialCondition::BernoulliWithBias { delta })
+            .stopping(StoppingCondition::consensus_within(if is_voter {
                 3_000_000
             } else {
                 20_000
-            }),
-            replicas: if is_voter {
+            }))
+            .replicas(if is_voter {
                 2.min(replicas(scale))
             } else {
                 replicas(scale)
-            },
-            seed: 0xE3,
-            threads: 0,
-        };
+            })
+            .seed(0xE3);
         results.push(experiment.run().expect("E3 experiment failed"));
     }
     results_table("E3: protocol comparison on a dense graph", &results)
@@ -67,21 +63,17 @@ pub fn verify(scale: Scale) -> bool {
             .into_iter()
             .map(|(label, protocol)| {
                 let is_voter = matches!(protocol, ProtocolSpec::Voter);
-                let experiment = Experiment {
-                    name: format!("E3v/{label}"),
-                    graph: GraphSpec::DenseForAlpha { n, alpha: 0.75 },
-                    protocol,
-                    initial: InitialCondition::BernoulliWithBias { delta },
-                    schedule: Schedule::Synchronous,
-                    stopping: StoppingCondition::consensus_within(if is_voter {
+                let experiment = Experiment::on(GraphSpec::DenseForAlpha { n, alpha: 0.75 })
+                    .named(format!("E3v/{label}"))
+                    .protocol(protocol)
+                    .initial(InitialCondition::BernoulliWithBias { delta })
+                    .stopping(StoppingCondition::consensus_within(if is_voter {
                         3_000_000
                     } else {
                         20_000
-                    }),
-                    replicas: if is_voter { 2 } else { replicas(scale) },
-                    seed: 0xE3,
-                    threads: 0,
-                };
+                    }))
+                    .replicas(if is_voter { 2 } else { replicas(scale) })
+                    .seed(0xE3);
                 let r = experiment.run().expect("E3 experiment failed");
                 (label.to_string(), r.mean_rounds().unwrap_or(f64::INFINITY))
             })

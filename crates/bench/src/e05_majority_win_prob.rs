@@ -41,17 +41,13 @@ fn win_rate(
     cap: usize,
     seed: u64,
 ) -> f64 {
-    let experiment = Experiment {
-        name: "E5".into(),
-        graph: GraphSpec::Complete { n },
-        protocol,
-        initial: InitialCondition::ExactCount { blue },
-        schedule: Schedule::Synchronous,
-        stopping: StoppingCondition::consensus_within(cap),
-        replicas,
-        seed,
-        threads: 0,
-    };
+    let experiment = Experiment::on(GraphSpec::Complete { n })
+        .named("E5")
+        .protocol(protocol)
+        .initial(InitialCondition::ExactCount { blue })
+        .stopping(StoppingCondition::consensus_within(cap))
+        .replicas(replicas)
+        .seed(seed);
     experiment
         .run()
         .expect("E5 experiment failed")

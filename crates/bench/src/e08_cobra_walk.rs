@@ -5,7 +5,7 @@
 //! `O(log n)` cover time — compared against the single random walk's
 //! `Θ(n log n)`.  The table reports both on random regular graphs and the
 //! hypercube, the two families studied by the COBRA-walk literature the
-//! paper cites ([3], [6], [9]).
+//! paper cites (references \[3], \[6], \[9]).
 
 use bo3_core::report::{fmt_f64, fmt_opt_f64, Table};
 use bo3_dag::cobra::estimate_cover_time;

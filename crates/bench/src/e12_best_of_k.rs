@@ -1,7 +1,7 @@
 //! E12 — Best-of-3 vs Best-of-k (odd k ≥ 5) at small bias on modest-degree
 //! graphs.
 //!
-//! The comparison the paper draws with Abdullah & Draief [1]: their analysis
+//! The comparison the paper draws with Abdullah & Draief \[1]: their analysis
 //! of Best-of-k needs `k ≤ d̂_min` and a *large* initial gap, while the
 //! paper's Best-of-3 tolerates a bias `δ` that shrinks with `n`.  The
 //! experiment measures the majority win rate and the consensus time of
@@ -54,21 +54,17 @@ pub fn run(scale: Scale) -> Table {
                     tie_rule: TieRule::KeepOwn,
                 }
             };
-            Experiment {
-                name: format!("E12/k={k}"),
-                graph: GraphSpec::RandomRegular { n, d },
-                protocol,
-                initial: InitialCondition::BernoulliWithBias {
+            Experiment::on(GraphSpec::RandomRegular { n, d })
+                .named(format!("E12/k={k}"))
+                .protocol(protocol)
+                .initial(InitialCondition::BernoulliWithBias {
                     delta: delta(scale),
-                },
-                schedule: Schedule::Synchronous,
-                stopping: StoppingCondition::consensus_within(20_000),
-                replicas: replicas(scale),
-                seed: 0xE12,
-                threads: 0,
-            }
-            .run()
-            .expect("E12 experiment failed")
+                })
+                .stopping(StoppingCondition::consensus_within(20_000))
+                .replicas(replicas(scale))
+                .seed(0xE12)
+                .run()
+                .expect("E12 experiment failed")
         })
         .collect();
     results_table(
@@ -91,21 +87,17 @@ pub fn verify(scale: Scale) -> bool {
                 tie_rule: TieRule::KeepOwn,
             }
         };
-        let r = Experiment {
-            name: format!("E12v/k={k}"),
-            graph: GraphSpec::RandomRegular { n, d },
-            protocol,
-            initial: InitialCondition::BernoulliWithBias {
+        let r = Experiment::on(GraphSpec::RandomRegular { n, d })
+            .named(format!("E12v/k={k}"))
+            .protocol(protocol)
+            .initial(InitialCondition::BernoulliWithBias {
                 delta: delta(scale),
-            },
-            schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(20_000),
-            replicas: replicas(scale),
-            seed: 0xE12,
-            threads: 0,
-        }
-        .run()
-        .expect("E12 experiment failed");
+            })
+            .stopping(StoppingCondition::consensus_within(20_000))
+            .replicas(replicas(scale))
+            .seed(0xE12)
+            .run()
+            .expect("E12 experiment failed");
         if !r.red_swept() {
             return false;
         }

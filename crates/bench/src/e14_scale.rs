@@ -19,12 +19,8 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use bo3_core::prelude::*;
 use bo3_core::report::Table;
-use bo3_dynamics::prelude::*;
-use bo3_graph::{Complete, ImplicitGnp, ImplicitSbm, Topology};
 
 use crate::Scale;
 
@@ -54,11 +50,14 @@ pub struct ScenarioResult {
     pub csr_equivalent_bytes: u128,
     /// Rounds executed.
     pub rounds: usize,
-    /// Why the run stopped.
-    pub stop_reason: StopReason,
+    /// Consensus winner (`None` when a non-consensus stop fired first).
+    pub winner: Option<Opinion>,
+    /// Short stop label for tables and snapshots: `"red"`, `"blue"`,
+    /// `"floor"` (blue-fraction floor) or `"cap"` (round limit).
+    pub stop: &'static str,
     /// Final blue fraction.
     pub final_blue_fraction: f64,
-    /// Wall-clock seconds for the run (excluding initial-condition setup).
+    /// Wall-clock seconds for the run.
     pub wall_seconds: f64,
     /// Sustained vertex updates per second (`n · rounds / wall`).
     pub updates_per_sec: f64,
@@ -67,46 +66,69 @@ pub struct ScenarioResult {
 impl ScenarioResult {
     /// `true` when the run ended in red consensus.
     pub fn red_won(&self) -> bool {
-        self.stop_reason.winner() == Some(Opinion::Red)
+        self.winner == Some(Opinion::Red)
     }
 }
 
-/// Runs Best-of-Three on `topo` from `initial` until `stopping` fires,
-/// timed, using every available core.  `expected_degree` sizes the
-/// CSR-equivalent footprint (`(n + 1)` offsets plus `n·d̄` directed arcs,
-/// one machine word each).
-pub fn run_consensus<T: Topology>(
-    topo: &T,
+/// Runs Best-of-Three on `spec` from `initial` until `stopping` fires,
+/// timed, as one single-replica [`Experiment`] using every available core
+/// — since PR 3 this experiment had to hand-roll its own driver around
+/// `TopologySimulator`; the Scenario API now covers it.
+///
+/// [`TopologySpec::expected_degree`] sizes the CSR-equivalent footprint
+/// (`(n + 1)` offsets plus `n·d̄` directed arcs, one machine word each).
+/// The wall clock covers the whole experiment — topology build,
+/// initial-condition sampling and all rounds — so `updates_per_sec` is
+/// end-to-end scenario throughput, a few percent below the engine-only
+/// figure the pre-Scenario-API snapshots reported.
+pub fn run_consensus(
+    spec: TopologySpec,
     initial: &InitialCondition,
     stopping: StoppingCondition,
     seed: u64,
-    expected_degree: f64,
 ) -> ScenarioResult {
-    let n = topo.n();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let init = initial.sample_n(n, &mut rng).expect("initial condition");
-    let sim = TopologySimulator::new(topo)
-        .expect("simulator")
-        .with_stopping(stopping)
-        .with_threads(0);
+    let label = spec.label();
+    let n = spec.num_vertices();
+    let expected_degree = spec
+        .expected_degree()
+        .expect("E14 runs implicit topologies, whose mean degree is closed-form");
+    let experiment = Experiment::on(spec)
+        .named(format!("E14/{label}"))
+        .protocol(ProtocolSpec::BestOfThree)
+        .initial(initial.clone())
+        .stopping(stopping)
+        .replicas(1)
+        .seed(seed)
+        .threads(0);
     let start = Instant::now();
-    let res = sim
-        .run(ProtocolKind::BestOfThree, init, seed)
-        .expect("scale run");
+    let result = experiment.run().expect("scale run");
     let wall = start.elapsed().as_secs_f64();
+    let outcome = result.report.outcomes[0];
     let word = std::mem::size_of::<usize>() as u128;
     let arcs = (n as f64 * expected_degree).round() as u128;
+    let stop = match outcome.winner {
+        Some(Opinion::Red) => "red",
+        Some(Opinion::Blue) => "blue",
+        // `should_stop` checks the floor before the round cap, so a
+        // winner-less run with the final fraction at or below a configured
+        // floor stopped there, not at the cap.
+        None => match stopping.blue_fraction_floor {
+            Some(floor) if outcome.final_blue_fraction <= floor => "floor",
+            _ => "cap",
+        },
+    };
     ScenarioResult {
-        label: topo.label(),
+        label,
         n,
-        topology_bytes: topo.memory_bytes(),
+        topology_bytes: result.topology_memory_bytes,
         csr_equivalent_bytes: (n as u128 + 1 + arcs) * word,
-        rounds: res.rounds,
-        stop_reason: res.stop_reason,
-        final_blue_fraction: res.final_blue_fraction,
+        rounds: outcome.rounds,
+        winner: outcome.winner,
+        stop,
+        final_blue_fraction: outcome.final_blue_fraction,
         wall_seconds: wall,
         updates_per_sec: if wall > 0.0 {
-            (res.rounds as u128 * n as u128) as f64 / wall
+            (outcome.rounds as u128 * n as u128) as f64 / wall
         } else {
             0.0
         },
@@ -119,12 +141,14 @@ pub fn headline_scenarios(n: usize) -> Vec<ScenarioResult> {
     let delta = 0.15;
     let initial = InitialCondition::BernoulliWithBias { delta };
     let stopping = StoppingCondition::consensus_within(10_000);
-    let complete = Complete::new(n).expect("complete topology");
-    let gnp = ImplicitGnp::new(n, 0.5, SEED).expect("implicit gnp");
-    let expected_gnp_degree = gnp.expected_degree();
     vec![
-        run_consensus(&complete, &initial, stopping, SEED, (n - 1) as f64),
-        run_consensus(&gnp, &initial, stopping, SEED + 1, expected_gnp_degree),
+        run_consensus(TopologySpec::Complete { n }, &initial, stopping, SEED),
+        run_consensus(
+            TopologySpec::ImplicitGnp { n, p: 0.5 },
+            &initial,
+            stopping,
+            SEED + 1,
+        ),
     ]
 }
 
@@ -152,14 +176,16 @@ pub fn sbm_point(n: usize, p_avg: f64, ratio: f64, max_rounds: usize) -> Scenari
     // are rounded to 1e-9 so labels and CSV stay readable.
     let p_out = (2.0e9 * p_avg / (1.0 + ratio)).round() / 1e9;
     let p_in = (1e9 * ratio * p_out).round() / 1e9;
-    let topo = ImplicitSbm::new(n, 2, p_in, p_out, SEED).expect("implicit sbm");
-    let expected_degree = topo.expected_degree();
     run_consensus(
-        &topo,
+        TopologySpec::ImplicitSbm {
+            n,
+            blocks: 2,
+            p_in,
+            p_out,
+        },
         &InitialCondition::PrefixBlue { blue: n / 2 },
         StoppingCondition::consensus_within(max_rounds),
         SEED + (ratio * 1000.0) as u64,
-        expected_degree,
     )
 }
 
@@ -198,12 +224,7 @@ pub fn results_table(title: &str, results: &[ScenarioResult]) -> Table {
             r.topology_bytes.to_string(),
             r.csr_equivalent_bytes.to_string(),
             r.rounds.to_string(),
-            match r.stop_reason {
-                StopReason::Consensus(Opinion::Red) => "red".into(),
-                StopReason::Consensus(Opinion::Blue) => "blue".into(),
-                StopReason::BlueFractionFloor => "floor".into(),
-                StopReason::RoundLimit => "cap".into(),
-            },
+            r.stop.to_string(),
             format!("{:.4}", r.final_blue_fraction),
             format!("{:.2}", r.wall_seconds),
             format!("{:.0}", r.updates_per_sec),
@@ -244,8 +265,8 @@ pub fn verify(n: usize, sbm_n: usize) -> bool {
     let assortative = sbm_point(sbm_n, 0.4, 9.0, 64);
     // Uniform mixing: global consensus well before the cap.  Strong
     // communities: the blue block holds, so the cap fires with blue alive.
-    uniform.stop_reason != StopReason::RoundLimit
-        && assortative.stop_reason == StopReason::RoundLimit
+    uniform.winner.is_some()
+        && assortative.winner.is_none()
         && assortative.final_blue_fraction > 0.25
 }
 
@@ -282,13 +303,11 @@ mod tests {
 
     #[test]
     fn consensus_throughput_is_recorded() {
-        let topo = Complete::new(TEST_N).expect("topology");
         let r = run_consensus(
-            &topo,
+            TopologySpec::Complete { n: TEST_N },
             &InitialCondition::BernoulliWithBias { delta: 0.2 },
             StoppingCondition::consensus_within(1_000),
             1,
-            (TEST_N - 1) as f64,
         );
         assert!(r.red_won());
         assert!(r.rounds > 0);

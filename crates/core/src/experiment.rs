@@ -1,30 +1,434 @@
-//! Experiment configuration and execution.
+//! Experiment configuration and execution — the Scenario API.
 //!
 //! An [`Experiment`] names everything needed to reproduce one data point of
-//! an evaluation table: the graph family instance, the protocol, the initial
-//! condition, the schedule, the stopping rule, and the Monte-Carlo budget.
-//! Running it yields an [`ExperimentResult`] that pairs the measured
-//! statistics with the graph's realised degree profile and the paper's
-//! theoretical prediction for the same parameters, which is exactly the
-//! "paper vs. measured" row format used in `EXPERIMENTS.md`.
+//! an evaluation table: the topology, the protocol, the initial condition,
+//! the schedule, the stopping rule, and the Monte-Carlo budget.  Experiments
+//! are assembled builder-style from a serialisable
+//! [`TopologySpec`]:
+//!
+//! ```
+//! use bo3_core::prelude::*;
+//!
+//! let result = Experiment::on(TopologySpec::Complete { n: 2_000 })
+//!     .protocol(ProtocolSpec::BestOfThree)
+//!     .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+//!     .replicas(4)
+//!     .seed(7)
+//!     .run()
+//!     .unwrap();
+//! assert!(result.red_swept());
+//! ```
+//!
+//! The topology decides the execution path internally: materialised specs
+//! ([`TopologySpec::Materialised`]) generate a CSR graph and run the classic
+//! graph engine — bit-identical to
+//! the pre-redesign API for the same seed — while the implicit families run
+//! adjacency-free through `MonteCarlo::run_on_topology`, which is what lets
+//! every experiment scale to `n = 10⁶` and beyond.  Dense whole-graph
+//! analyses (degree statistics, the paper-prediction column) *degrade
+//! gracefully* on topologies that cannot afford them: the result carries a
+//! typed [`Analysis::Skipped`] with the reason instead of failing the run.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use bo3_dynamics::prelude::*;
 use bo3_graph::degree::DegreeStats;
 use bo3_graph::generators::GraphSpec;
+use bo3_graph::topology::materialize;
 use bo3_graph::traversal::is_connected;
-use bo3_graph::CsrGraph;
+use bo3_graph::{BuiltTopology, CsrGraph, Topology, TopologySpec};
 use bo3_theory::prediction::{predict, Prediction};
 
 use crate::error::{CoreError, Result};
 
+/// A dense analysis that either ran or was skipped for a stated reason.
+///
+/// Implicit topologies make some whole-graph diagnostics either impossible
+/// (degree-ranked placements need materialised rows) or unaffordable
+/// (reading a hash-defined degree sequence is `Θ(n²)`).  Rather than failing
+/// the experiment or silently omitting columns, results carry this typed
+/// outcome: [`Analysis::Computed`] with the value, or [`Analysis::Skipped`]
+/// with a human-readable reason that reports can print.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Analysis<T> {
+    /// The analysis ran; here is its value.
+    Computed(T),
+    /// The analysis was intentionally not run.
+    Skipped {
+        /// Why the analysis was skipped (shown in reports).
+        reason: String,
+    },
+}
+
+impl<T> Analysis<T> {
+    /// Shorthand constructor for the skipped case.
+    pub fn skipped(reason: impl Into<String>) -> Self {
+        Analysis::Skipped {
+            reason: reason.into(),
+        }
+    }
+
+    /// The computed value, when the analysis ran.
+    pub fn computed(&self) -> Option<&T> {
+        match self {
+            Analysis::Computed(value) => Some(value),
+            Analysis::Skipped { .. } => None,
+        }
+    }
+
+    /// Consumes the analysis, yielding the computed value when present.
+    pub fn into_computed(self) -> Option<T> {
+        match self {
+            Analysis::Computed(value) => Some(value),
+            Analysis::Skipped { .. } => None,
+        }
+    }
+
+    /// The skip reason, when the analysis was skipped.
+    pub fn skipped_reason(&self) -> Option<&str> {
+        match self {
+            Analysis::Computed(_) => None,
+            Analysis::Skipped { reason } => Some(reason),
+        }
+    }
+
+    /// `true` when the analysis ran.
+    pub fn is_computed(&self) -> bool {
+        matches!(self, Analysis::Computed(_))
+    }
+}
+
 /// A fully specified experiment (one parameter point).
+///
+/// Construct with [`Experiment::on`] and the builder methods; the fields
+/// stay public so configurations remain plain serialisable data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Experiment {
     /// Short identifier used in reports (e.g. `"E1/n=100000"`).
+    pub name: String,
+    /// Which topology to run on (materialised or implicit).
+    pub topology: TopologySpec,
+    /// Which protocol to run.
+    pub protocol: ProtocolSpec,
+    /// Initial condition for every replica.
+    pub initial: InitialCondition,
+    /// Update schedule.
+    pub schedule: Schedule,
+    /// Per-replica stopping rule.
+    pub stopping: StoppingCondition,
+    /// Number of Monte-Carlo replicas.
+    pub replicas: usize,
+    /// Master seed: freezes the topology (hash seed / generator stream) and
+    /// derives every replica's RNG stream.
+    pub seed: u64,
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// Starts a builder on the given topology with the defaults of the
+    /// paper's setting: Best-of-Three, `Bernoulli(1/2 − 0.1)` initial
+    /// opinions, synchronous rounds, stop at consensus within `10⁴` rounds,
+    /// 8 replicas, seed 0, all available threads.
+    ///
+    /// Anything convertible into a [`TopologySpec`] is accepted — in
+    /// particular a bare [`GraphSpec`], which maps to
+    /// [`TopologySpec::Materialised`].
+    pub fn on(topology: impl Into<TopologySpec>) -> Self {
+        let topology = topology.into();
+        Experiment {
+            name: format!("experiment/{}", topology.label()),
+            topology,
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::BernoulliWithBias { delta: 0.1 },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::default(),
+            replicas: 8,
+            seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Sets the report identifier.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the protocol.
+    pub fn protocol(mut self, protocol: ProtocolSpec) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the initial condition.
+    pub fn initial(mut self, initial: InitialCondition) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Sets the update schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the stopping rule.
+    pub fn stopping(mut self, stopping: StoppingCondition) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Sets the Monte-Carlo replica count.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread budget (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The canonical Theorem-1 experiment: Best-of-3 on the given topology
+    /// with the paper's `Bernoulli(1/2 − δ)` initial condition.
+    pub fn theorem_one(
+        name: impl Into<String>,
+        topology: impl Into<TopologySpec>,
+        delta: f64,
+        replicas: usize,
+        seed: u64,
+    ) -> Self {
+        Experiment::on(topology)
+            .named(name)
+            .initial(InitialCondition::BernoulliWithBias { delta })
+            .stopping(StoppingCondition::consensus_within(10_000))
+            .replicas(replicas)
+            .seed(seed)
+    }
+
+    /// Builds the experiment's topology (deterministic in `seed`).
+    pub fn build_topology(&self) -> Result<BuiltTopology> {
+        Ok(self.topology.build(self.seed)?)
+    }
+
+    /// Generates the experiment's graph as materialised CSR adjacency
+    /// (deterministic in `seed`; for materialised specs this is exactly the
+    /// pre-redesign `build_graph` stream).
+    ///
+    /// Implicit specs are materialised through their frozen edge set, which
+    /// is guarded by `DENSE_ANALYSIS_VERTEX_LIMIT` — million-vertex implicit
+    /// topologies return a typed error here; run them with
+    /// [`Experiment::run`] instead, which never materialises them.
+    pub fn build_graph(&self) -> Result<CsrGraph> {
+        match self.build_topology()? {
+            BuiltTopology::Materialised(graph) => Ok(graph),
+            implicit => Ok(materialize(&implicit)?),
+        }
+    }
+
+    /// Runs the experiment end to end.
+    ///
+    /// Materialised specs generate their CSR graph and run the classic
+    /// graph engine (bit-identical seeded reports to the pre-redesign API);
+    /// implicit specs run adjacency-free on the topology engine.
+    pub fn run(&self) -> Result<ExperimentResult> {
+        let built = self.build_topology()?;
+        match built.as_graph() {
+            Some(graph) => self.run_on(graph),
+            None => self.run_implicit(&built),
+        }
+    }
+
+    /// Runs the experiment on an already generated graph (useful when
+    /// several experiments share one expensive graph instance).
+    pub fn run_on(&self, graph: &CsrGraph) -> Result<ExperimentResult> {
+        self.validate()?;
+        if graph.num_vertices() == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "the experiment graph is empty".into(),
+            });
+        }
+        if !is_connected(graph) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "graph {} is disconnected; consensus experiments require a connected graph",
+                    self.topology.label()
+                ),
+            });
+        }
+        let degree_stats = DegreeStats::of(graph)?;
+        let report = self.monte_carlo().run(graph)?;
+        let prediction = self.prediction_from(graph.num_vertices(), Some(&degree_stats));
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            topology_label: self.topology.label(),
+            protocol_name: self.protocol.name(),
+            initial_label: self.initial.label(),
+            schedule: self.schedule,
+            n: graph.num_vertices(),
+            topology_memory_bytes: graph.memory_bytes(),
+            degree_stats: Analysis::Computed(degree_stats),
+            report,
+            prediction,
+        })
+    }
+
+    /// The adjacency-free path: replicas run on the topology engine and the
+    /// dense analyses degrade to typed [`Analysis::Skipped`] outcomes where
+    /// they cannot run.
+    fn run_implicit(&self, built: &BuiltTopology) -> Result<ExperimentResult> {
+        self.validate()?;
+        if self.schedule != Schedule::Synchronous {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "the asynchronous schedule reads materialised neighbour rows; \
+                     run {} as TopologySpec::Materialised instead",
+                    self.topology.label()
+                ),
+            });
+        }
+        self.validate_implicit_regime(built.n())?;
+        let degree_stats = match self.topology.closed_form_degree_stats() {
+            Some(stats) => Analysis::Computed(stats),
+            None => Analysis::skipped(format!(
+                "degree statistics of {} are hash-defined (Θ(n) per vertex to read); \
+                 materialise the spec to measure them",
+                self.topology.label()
+            )),
+        };
+        let report = self.monte_carlo().run_on_topology(built)?;
+        let prediction = self.prediction_from(built.n(), degree_stats.computed());
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            topology_label: self.topology.label(),
+            protocol_name: self.protocol.name(),
+            initial_label: self.initial.label(),
+            schedule: self.schedule,
+            n: built.n(),
+            topology_memory_bytes: built.memory_bytes(),
+            degree_stats,
+            report,
+            prediction,
+        })
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "an experiment needs at least one replica".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Guards the adjacency-free path against graphs it cannot serve.
+    ///
+    /// The closed-form families are connected by construction, but
+    /// hash-defined topologies cannot be connectivity-checked without
+    /// `Θ(n²)` work — the check the materialised path performs.  Instead the
+    /// two *certain* or overwhelmingly-likely failure modes are rejected
+    /// up front with the same typed error the materialised path gives:
+    ///
+    /// * a multi-block implicit SBM with `p_out = 0` is disconnected by
+    ///   construction (disjoint communities);
+    /// * an expected degree below `ln n` is the classic `G(n, p)`
+    ///   disconnectivity threshold, where neighbour sampling would also
+    ///   leave the rejection-sampling regime the implicit families support
+    ///   (isolated vertices make sampling panic rather than loop) — sparse
+    ///   graphs belong on a materialised spec.
+    fn validate_implicit_regime(&self, n: usize) -> Result<()> {
+        if let TopologySpec::ImplicitSbm { blocks, p_out, .. } = &self.topology {
+            if *blocks > 1 && *p_out == 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "{} is disconnected ({} blocks with p_out = 0); consensus \
+                         experiments require a connected graph",
+                        self.topology.label(),
+                        blocks
+                    ),
+                });
+            }
+        }
+        if self.topology.is_hash_defined() {
+            let expected = self.topology.expected_degree().unwrap_or(0.0);
+            let threshold = (n as f64).ln();
+            if expected < threshold {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "{} has expected degree {expected:.2}, below the ln(n) ≈ \
+                         {threshold:.2} connectivity threshold; the implicit families \
+                         support only the dense regime — use a materialised spec for \
+                         sparse graphs",
+                        self.topology.label()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn monte_carlo(&self) -> MonteCarlo {
+        MonteCarlo {
+            protocol: self.protocol,
+            initial: self.initial.clone(),
+            schedule: self.schedule,
+            stopping: self.stopping,
+            replicas: self.replicas,
+            master_seed: self.seed,
+            threads: self.threads,
+        }
+    }
+
+    /// The paper's prediction for this parameter point, or a typed skip.
+    fn prediction_from(
+        &self,
+        n: usize,
+        degree_stats: Option<&DegreeStats>,
+    ) -> Analysis<Prediction> {
+        let delta = match &self.initial {
+            InitialCondition::BernoulliWithBias { delta } => *delta,
+            other => {
+                return Analysis::skipped(format!(
+                    "the paper's prediction assumes the Bernoulli(1/2 − δ) initial \
+                     condition, not {}",
+                    other.label()
+                ))
+            }
+        };
+        let alpha = match degree_stats.and_then(|s| s.alpha()) {
+            Some(alpha) => alpha,
+            None => {
+                return Analysis::skipped(format!(
+                    "no degree exponent α available for {} (degree statistics skipped \
+                     or degenerate)",
+                    self.topology.label()
+                ))
+            }
+        };
+        Analysis::Computed(predict(n as f64, alpha, delta, 2.0))
+    }
+}
+
+/// The pre-redesign experiment shape: struct-literal construction over a
+/// bare [`GraphSpec`].  Kept for one release so downstream struct literals
+/// keep compiling; convert with [`From`] or call [`LegacyExperiment::run`],
+/// which forwards to the builder API (`graph` maps to
+/// [`TopologySpec::Materialised`], so results are bit-identical).
+#[deprecated(
+    note = "use builder-style `Experiment::on(TopologySpec)`; a `GraphSpec` converts \
+            into `TopologySpec::Materialised`"
+)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LegacyExperiment {
+    /// Short identifier used in reports.
     pub name: String,
     /// Which graph to generate.
     pub graph: GraphSpec,
@@ -38,127 +442,64 @@ pub struct Experiment {
     pub stopping: StoppingCondition,
     /// Number of Monte-Carlo replicas.
     pub replicas: usize,
-    /// Master seed (graph generation uses `seed`, replica `i` uses a derived stream).
+    /// Master seed.
     pub seed: u64,
     /// Worker threads (`0` = available parallelism).
     pub threads: usize,
 }
 
-impl Experiment {
-    /// The canonical Theorem-1 experiment: Best-of-3 on the given graph with
-    /// the paper's `Bernoulli(1/2 − δ)` initial condition.
-    pub fn theorem_one(
-        name: impl Into<String>,
-        graph: GraphSpec,
-        delta: f64,
-        replicas: usize,
-        seed: u64,
-    ) -> Self {
+#[allow(deprecated)]
+impl From<LegacyExperiment> for Experiment {
+    fn from(legacy: LegacyExperiment) -> Self {
         Experiment {
-            name: name.into(),
-            graph,
-            protocol: ProtocolSpec::BestOfThree,
-            initial: InitialCondition::BernoulliWithBias { delta },
-            schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(10_000),
-            replicas,
-            seed,
-            threads: 0,
+            name: legacy.name,
+            topology: TopologySpec::Materialised(legacy.graph),
+            protocol: legacy.protocol,
+            initial: legacy.initial,
+            schedule: legacy.schedule,
+            stopping: legacy.stopping,
+            replicas: legacy.replicas,
+            seed: legacy.seed,
+            threads: legacy.threads,
         }
-    }
-
-    /// Generates the experiment's graph (deterministic in `seed`).
-    pub fn build_graph(&self) -> Result<CsrGraph> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-        let graph = self.graph.generate(&mut rng)?;
-        Ok(graph)
-    }
-
-    /// Runs the experiment end to end.
-    pub fn run(&self) -> Result<ExperimentResult> {
-        let graph = self.build_graph()?;
-        self.run_on(&graph)
-    }
-
-    /// Runs the experiment on an already generated graph (useful when several
-    /// experiments share one expensive graph instance).
-    pub fn run_on(&self, graph: &CsrGraph) -> Result<ExperimentResult> {
-        if self.replicas == 0 {
-            return Err(CoreError::InvalidConfig {
-                reason: "an experiment needs at least one replica".into(),
-            });
-        }
-        if graph.num_vertices() == 0 {
-            return Err(CoreError::InvalidConfig {
-                reason: "the experiment graph is empty".into(),
-            });
-        }
-        if !is_connected(graph) {
-            return Err(CoreError::InvalidConfig {
-                reason: format!(
-                    "graph {} is disconnected; consensus experiments require a connected graph",
-                    self.graph.label()
-                ),
-            });
-        }
-        let degree_stats = DegreeStats::of(graph)?;
-
-        let mc = MonteCarlo {
-            protocol: self.protocol,
-            initial: self.initial.clone(),
-            schedule: self.schedule,
-            stopping: self.stopping,
-            replicas: self.replicas,
-            master_seed: self.seed,
-            threads: self.threads,
-        };
-        let report = mc.run(graph)?;
-
-        // Theoretical prediction for the same (n, alpha, delta) point, when the
-        // initial condition is the paper's.
-        let prediction = match &self.initial {
-            InitialCondition::BernoulliWithBias { delta } => {
-                let n = graph.num_vertices() as f64;
-                degree_stats
-                    .alpha()
-                    .map(|alpha| predict(n, alpha, *delta, 2.0))
-            }
-            _ => None,
-        };
-
-        Ok(ExperimentResult {
-            name: self.name.clone(),
-            graph_label: self.graph.label(),
-            protocol_name: self.protocol.name(),
-            initial_label: self.initial.label(),
-            schedule: self.schedule,
-            degree_stats,
-            report,
-            prediction,
-        })
     }
 }
 
-/// The outcome of one experiment: measurements plus the matching prediction.
+#[allow(deprecated)]
+impl LegacyExperiment {
+    /// Runs the experiment through the v2 pipeline.
+    pub fn run(&self) -> Result<ExperimentResult> {
+        Experiment::from(self.clone()).run()
+    }
+}
+
+/// The outcome of one experiment: measurements plus the matching analyses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Experiment identifier.
     pub name: String,
-    /// Graph description.
-    pub graph_label: String,
+    /// Topology description.
+    pub topology_label: String,
     /// Protocol name.
     pub protocol_name: String,
     /// Initial-condition description.
     pub initial_label: String,
     /// Schedule used.
     pub schedule: Schedule,
-    /// Realised degree statistics of the generated graph.
-    pub degree_stats: DegreeStats,
+    /// Number of vertices.
+    pub n: usize,
+    /// Bytes used to represent the topology (a CSR's adjacency for
+    /// materialised specs, a few machine words for implicit ones).
+    pub topology_memory_bytes: usize,
+    /// Realised degree statistics — computed for materialised and
+    /// closed-form topologies, skipped (with the reason) for hash-defined
+    /// ones.
+    pub degree_stats: Analysis<DegreeStats>,
     /// Monte-Carlo measurements.
     pub report: MonteCarloReport,
-    /// The paper's prediction for this parameter point (present when the
-    /// initial condition is the paper's Bernoulli one).
-    pub prediction: Option<Prediction>,
+    /// The paper's prediction for this parameter point — computed when the
+    /// initial condition is the paper's and a degree exponent is available.
+    pub prediction: Analysis<Prediction>,
 }
 
 impl ExperimentResult {
@@ -170,6 +511,11 @@ impl ExperimentResult {
     /// Fraction of converged replicas won by red.
     pub fn red_win_rate(&self) -> Option<f64> {
         self.report.red_win.map(|p| p.estimate)
+    }
+
+    /// The degree exponent `α` (`d_min = n^α`), when degree statistics ran.
+    pub fn alpha(&self) -> Option<f64> {
+        self.degree_stats.computed().and_then(|s| s.alpha())
     }
 
     /// `true` when every converged replica ended in red consensus — the
@@ -194,24 +540,142 @@ mod tests {
         assert_eq!(result.name, "unit/complete");
         assert!(result.red_swept());
         assert!(result.mean_rounds().unwrap() < 25.0);
-        assert!(result.prediction.is_some());
-        assert_eq!(result.degree_stats.min, 299);
+        assert!(result.prediction.is_computed());
+        assert_eq!(result.degree_stats.computed().unwrap().min, 299);
         assert!(result.protocol_name.contains("best-of-3"));
     }
 
     #[test]
+    fn builder_defaults_and_setters_cover_every_field() {
+        let exp = Experiment::on(TopologySpec::Complete { n: 64 })
+            .named("builder/check")
+            .protocol(ProtocolSpec::Voter)
+            .initial(InitialCondition::ExactCount { blue: 10 })
+            .schedule(Schedule::Synchronous)
+            .stopping(StoppingCondition::fixed_rounds(3))
+            .replicas(2)
+            .seed(9)
+            .threads(1);
+        assert_eq!(exp.name, "builder/check");
+        assert_eq!(exp.protocol, ProtocolSpec::Voter);
+        assert_eq!(exp.initial, InitialCondition::ExactCount { blue: 10 });
+        assert_eq!(exp.stopping, StoppingCondition::fixed_rounds(3));
+        assert_eq!(exp.replicas, 2);
+        assert_eq!(exp.seed, 9);
+        assert_eq!(exp.threads, 1);
+        let result = exp.run().unwrap();
+        assert_eq!(result.n, 64);
+        for outcome in &result.report.outcomes {
+            assert!(outcome.rounds <= 3);
+        }
+    }
+
+    #[test]
+    fn implicit_complete_runs_adjacency_free_with_exact_stats() {
+        let result = Experiment::on(TopologySpec::Complete { n: 2_000 })
+            .named("implicit/complete")
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+            .replicas(6)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(result.red_swept());
+        // Exact closed-form degree stats, no adjacency anywhere.
+        assert_eq!(result.degree_stats.computed().unwrap().min, 1_999);
+        assert!(result.topology_memory_bytes < 1_024);
+        assert!(result.prediction.is_computed());
+    }
+
+    #[test]
+    fn hash_defined_topologies_skip_dense_analyses_gracefully() {
+        let result = Experiment::on(TopologySpec::ImplicitGnp { n: 1_500, p: 0.5 })
+            .named("implicit/gnp")
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+            .replicas(4)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(result.red_swept());
+        let reason = result.degree_stats.skipped_reason().unwrap();
+        assert!(reason.contains("hash-defined"), "{reason}");
+        // No alpha, so the prediction degrades too — with a reason, not an error.
+        assert!(result.prediction.skipped_reason().is_some());
+        assert!(result.alpha().is_none());
+    }
+
+    #[test]
     fn rejects_zero_replicas_and_disconnected_graphs() {
-        let mut exp = Experiment::theorem_one("bad", GraphSpec::Complete { n: 20 }, 0.1, 0, 1);
+        let exp = Experiment::theorem_one("bad", GraphSpec::Complete { n: 20 }, 0.1, 0, 1);
         assert!(matches!(exp.run(), Err(CoreError::InvalidConfig { .. })));
-        exp.replicas = 3;
         // Two disjoint cliques via an SBM with zero cross probability.
-        exp.graph = GraphSpec::PlantedPartition {
-            n: 20,
-            blocks: 2,
-            p_in: 1.0,
-            p_out: 0.0,
-        };
+        let exp = Experiment::theorem_one(
+            "bad2",
+            GraphSpec::PlantedPartition {
+                n: 20,
+                blocks: 2,
+                p_in: 1.0,
+                p_out: 0.0,
+            },
+            0.1,
+            3,
+            1,
+        );
         assert!(matches!(exp.run(), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn implicit_path_rejects_certainly_disconnected_and_sparse_specs() {
+        // Disjoint communities: the materialised PlantedPartition equivalent
+        // errors on the connectivity check; the implicit path must match.
+        let disconnected = Experiment::on(TopologySpec::ImplicitSbm {
+            n: 1_000,
+            blocks: 2,
+            p_in: 0.5,
+            p_out: 0.0,
+        })
+        .replicas(1);
+        assert!(matches!(
+            disconnected.run(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // Sparse G(n, p) below the ln(n) connectivity threshold would panic
+        // inside neighbour sampling; it must be a typed error instead.
+        let sparse = Experiment::on(TopologySpec::ImplicitGnp {
+            n: 100_000,
+            p: 1e-5,
+        })
+        .replicas(1);
+        match sparse.run() {
+            Err(CoreError::InvalidConfig { reason }) => {
+                assert!(reason.contains("dense regime"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // A dense spec at the same n sails through the guard.
+        assert!(
+            Experiment::on(TopologySpec::ImplicitGnp { n: 2_000, p: 0.3 })
+                .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
+                .replicas(1)
+                .run()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn asynchronous_schedule_requires_materialisation() {
+        let implicit = Experiment::on(TopologySpec::Complete { n: 100 })
+            .schedule(Schedule::AsynchronousRandomOrder)
+            .replicas(1);
+        assert!(matches!(
+            implicit.run(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // The same graph as a materialised spec supports it.
+        let materialised = Experiment::on(GraphSpec::Complete { n: 100 })
+            .schedule(Schedule::AsynchronousRandomOrder)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
+            .replicas(1);
+        assert!(materialised.run().unwrap().red_swept());
     }
 
     #[test]
@@ -229,6 +693,20 @@ mod tests {
     }
 
     #[test]
+    fn build_graph_materialises_small_implicit_topologies() {
+        let exp = Experiment::on(TopologySpec::Complete { n: 30 });
+        let g = exp.build_graph().unwrap();
+        assert_eq!(g.num_vertices(), 30);
+        assert_eq!(g.num_edges(), 30 * 29 / 2);
+        // ...but refuses past the dense-analysis limit, with a typed error.
+        let huge = Experiment::on(TopologySpec::ImplicitGnp {
+            n: 1_000_000,
+            p: 0.5,
+        });
+        assert!(matches!(huge.build_graph(), Err(CoreError::Graph(_))));
+    }
+
+    #[test]
     fn run_on_shared_graph_matches_run() {
         let exp = Experiment::theorem_one("shared", GraphSpec::Complete { n: 150 }, 0.12, 5, 3);
         let direct = exp.run().unwrap();
@@ -239,25 +717,64 @@ mod tests {
 
     #[test]
     fn non_paper_initial_conditions_have_no_prediction() {
-        let exp = Experiment {
-            initial: InitialCondition::ExactCount { blue: 40 },
-            ..Experiment::theorem_one("nopred", GraphSpec::Complete { n: 100 }, 0.1, 3, 5)
-        };
+        let exp = Experiment::theorem_one("nopred", GraphSpec::Complete { n: 100 }, 0.1, 3, 5)
+            .initial(InitialCondition::ExactCount { blue: 40 });
         let result = exp.run().unwrap();
-        assert!(result.prediction.is_none());
+        assert!(result
+            .prediction
+            .skipped_reason()
+            .unwrap()
+            .contains("initial"));
         assert!(result.red_win_rate().is_some());
     }
 
     #[test]
     fn voter_baseline_does_not_always_sweep() {
-        let exp = Experiment {
-            protocol: ProtocolSpec::Voter,
-            initial: InitialCondition::ExactCount { blue: 28 },
-            stopping: StoppingCondition::consensus_within(200_000),
-            replicas: 40,
-            ..Experiment::theorem_one("voter", GraphSpec::Complete { n: 60 }, 0.1, 40, 11)
-        };
+        let exp = Experiment::theorem_one("voter", GraphSpec::Complete { n: 60 }, 0.1, 40, 11)
+            .protocol(ProtocolSpec::Voter)
+            .initial(InitialCondition::ExactCount { blue: 28 })
+            .stopping(StoppingCondition::consensus_within(200_000));
         let result = exp.run().unwrap();
         assert!(!result.red_swept(), "voter unexpectedly swept for red");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_struct_literals_convert_and_run() {
+        let legacy = LegacyExperiment {
+            name: "legacy/complete".into(),
+            graph: GraphSpec::Complete { n: 150 },
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::BernoulliWithBias { delta: 0.12 },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(10_000),
+            replicas: 5,
+            seed: 3,
+            threads: 0,
+        };
+        let via_legacy = legacy.run().unwrap();
+        let via_builder = Experiment::theorem_one(
+            "legacy/complete",
+            GraphSpec::Complete { n: 150 },
+            0.12,
+            5,
+            3,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(via_legacy, via_builder);
+    }
+
+    #[test]
+    fn analysis_accessors() {
+        let computed: Analysis<usize> = Analysis::Computed(7);
+        assert_eq!(computed.computed(), Some(&7));
+        assert!(computed.is_computed());
+        assert_eq!(computed.skipped_reason(), None);
+        assert_eq!(computed.into_computed(), Some(7));
+        let skipped: Analysis<usize> = Analysis::skipped("too big");
+        assert_eq!(skipped.computed(), None);
+        assert_eq!(skipped.skipped_reason(), Some("too big"));
+        assert_eq!(skipped.into_computed(), None);
     }
 }

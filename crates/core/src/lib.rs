@@ -11,9 +11,12 @@
 //! the proof's combinatorial machinery and the theory-side predictions behind
 //! one experiment-oriented API:
 //!
-//! * [`experiment`] — describe and run a parameter point (graph family,
-//!   protocol, initial condition, Monte-Carlo budget) and get measurements
-//!   paired with the paper's prediction;
+//! * [`experiment`] — describe a parameter point builder-style on one
+//!   serialisable `TopologySpec` (materialised *or* implicit topology,
+//!   protocol, initial condition, Monte-Carlo budget), run it, and get
+//!   measurements paired with the paper's prediction;
+//! * [`configio`] — self-contained JSON (de)serialisation for experiment
+//!   configurations, including the pre-redesign `graph:` layout;
 //! * [`duality`] — verify the time-reversal duality between the forward
 //!   process and the voting-DAG colouring (experiment E9);
 //! * [`phases`] — segment measured trajectories into the three phases of
@@ -29,14 +32,15 @@
 //! ```
 //! use bo3_core::prelude::*;
 //!
-//! let experiment = Experiment::theorem_one(
-//!     "doc/quickstart",
-//!     GraphSpec::Complete { n: 300 },
-//!     0.1,    // delta: initial blue probability is 1/2 - 0.1
-//!     8,      // Monte-Carlo replicas
-//!     42,     // seed
-//! );
-//! let result = experiment.run().unwrap();
+//! // An implicit complete graph: no adjacency is ever materialised, so the
+//! // same five lines scale to n = 10⁶ and beyond.
+//! let result = Experiment::on(TopologySpec::Complete { n: 2_000 })
+//!     .named("doc/quickstart")
+//!     .initial(InitialCondition::BernoulliWithBias { delta: 0.1 })
+//!     .replicas(8)
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
 //! assert!(result.red_swept());
 //! println!("consensus in {:.1} rounds on average", result.mean_rounds().unwrap());
 //! ```
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod configio;
 pub mod duality;
 pub mod error;
 pub mod experiment;
@@ -60,11 +65,14 @@ pub use bo3_theory;
 
 /// One-stop imports for examples, benches and integration tests.
 pub mod prelude {
+    pub use crate::configio::{FromJson, ToJson};
     pub use crate::duality::{DualityCheck, DualityReport};
     pub use crate::error::{CoreError, Result};
-    pub use crate::experiment::{Experiment, ExperimentResult};
+    pub use crate::experiment::{Analysis, Experiment, ExperimentResult};
     pub use crate::phases::{segment_trace, ObservedPhases, PhaseComparison};
-    pub use crate::registry::{comparison_protocols, resolve_protocol};
+    pub use crate::registry::{
+        comparison_protocols, resolve_protocol, resolve_topology, TOPOLOGY_NAMES,
+    };
     pub use crate::report::{fmt_f64, fmt_opt_f64, Table};
     pub use crate::summary::{results_table, trajectory_table};
 
@@ -72,8 +80,8 @@ pub mod prelude {
     pub use bo3_graph::degree::DegreeStats;
     pub use bo3_graph::generators::GraphSpec;
     pub use bo3_graph::{
-        Complete, CompleteBipartite, CompleteMultipartite, CsrGraph, CsrTopology, GraphBuilder,
-        ImplicitGnp, ImplicitSbm, NeighbourSampler, Topology,
+        BuiltTopology, Complete, CompleteBipartite, CompleteMultipartite, CsrGraph, CsrTopology,
+        GraphBuilder, ImplicitGnp, ImplicitSbm, NeighbourSampler, Topology, TopologySpec,
     };
     pub use bo3_theory::prediction::{predict, Prediction};
 }

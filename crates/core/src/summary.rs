@@ -29,21 +29,27 @@ pub fn results_table(title: &str, results: &[ExperimentResult]) -> Table {
         ],
     );
     for r in results {
-        let alpha = r.degree_stats.alpha();
         let p90 = r.report.rounds_to_consensus.as_ref().map(|s| s.p90);
         let paper_rounds = r
             .prediction
-            .as_ref()
+            .computed()
             .and_then(|p| p.predicted_rounds)
             .map(|x| x as f64);
+        // Skipped dense analyses show as the placeholder dash, exactly like
+        // any other absent value.
+        let min_deg = r
+            .degree_stats
+            .computed()
+            .map(|s| s.min.to_string())
+            .unwrap_or_else(|| "-".into());
         table.push_row(vec![
             r.name.clone(),
-            r.graph_label.clone(),
+            r.topology_label.clone(),
             r.protocol_name.clone(),
             r.initial_label.clone(),
-            r.degree_stats.n.to_string(),
-            r.degree_stats.min.to_string(),
-            fmt_opt_f64(alpha),
+            r.n.to_string(),
+            min_deg,
+            fmt_opt_f64(r.alpha()),
             r.report.outcomes.len().to_string(),
             fmt_f64(r.report.consensus_rate),
             fmt_opt_f64(r.red_win_rate()),
@@ -95,9 +101,25 @@ mod tests {
     }
 
     #[test]
+    fn results_table_renders_skipped_analyses_as_dashes() {
+        let r = Experiment::on(bo3_graph::TopologySpec::ImplicitGnp { n: 400, p: 0.5 })
+            .named("t/implicit")
+            .replicas(2)
+            .stopping(bo3_dynamics::prelude::StoppingCondition::fixed_rounds(2))
+            .run()
+            .unwrap();
+        assert!(!r.degree_stats.is_computed());
+        let table = results_table("E-skip", std::slice::from_ref(&r));
+        // n is still reported; min_deg and alpha degrade to the dash (the
+        // quoted topology label precedes them in the CSV row).
+        let row = table.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(",400,-,-,"), "{row}");
+    }
+
+    #[test]
     fn results_table_includes_paper_prediction_when_present() {
         let r = small_result();
-        assert!(r.prediction.is_some());
+        assert!(r.prediction.is_computed());
         let table = results_table("E-test", &[r]);
         let csv = table.to_csv();
         // The last column should not be the placeholder dash.

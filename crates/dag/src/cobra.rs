@@ -8,7 +8,7 @@
 //! voting-DAG `H_{v₀}` (read root-to-leaves), which is how the paper connects
 //! the two objects.  Experiment E8 reproduces the occupancy growth and the
 //! cover time on regular graphs studied in the COBRA-walk literature
-//! ([3], [6], [9]).
+//! (references \[3], \[6], \[9]).
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

@@ -47,9 +47,27 @@ impl ProtocolSpec {
         }
     }
 
-    /// The protocol's display name (matches [`Protocol::name`]).
+    /// The protocol's display name, computed directly on the spec.
+    ///
+    /// Pinned against [`Protocol::name`] of the built protocol for every
+    /// variant by a unit test below — the previous implementation allocated
+    /// a whole `Box<dyn Protocol>` just to read the name.
     pub fn name(&self) -> String {
-        self.build().name()
+        match *self {
+            ProtocolSpec::Voter => "voter (best-of-1)".into(),
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::KeepOwn,
+            } => "best-of-2 (keep on tie)".into(),
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::Random,
+            } => "best-of-2 (random tie)".into(),
+            ProtocolSpec::BestOfThree => "best-of-3".into(),
+            ProtocolSpec::BestOfK { k, tie_rule } => match tie_rule {
+                TieRule::KeepOwn => format!("best-of-{k} (keep on tie)"),
+                TieRule::Random => format!("best-of-{k} (random tie)"),
+            },
+            ProtocolSpec::LocalMajority { .. } => "local-majority (full neighbourhood)".into(),
+        }
     }
 
     /// The kernel the described protocol monomorphizes to.
@@ -132,6 +150,37 @@ mod tests {
         }
         .name()
         .contains("best-of-5"));
+    }
+
+    #[test]
+    fn spec_name_matches_the_built_protocol_name_for_every_variant() {
+        // `ProtocolSpec::name` is computed without building the protocol;
+        // this pins it to `Protocol::name` across every variant and tie
+        // rule so the two spellings cannot drift.
+        let mut specs = ProtocolSpec::comparison_set();
+        specs.extend([
+            ProtocolSpec::BestOfTwo {
+                tie_rule: TieRule::Random,
+            },
+            ProtocolSpec::BestOfK {
+                k: 1,
+                tie_rule: TieRule::KeepOwn,
+            },
+            ProtocolSpec::BestOfK {
+                k: 4,
+                tie_rule: TieRule::Random,
+            },
+            ProtocolSpec::BestOfK {
+                k: 9,
+                tie_rule: TieRule::KeepOwn,
+            },
+            ProtocolSpec::LocalMajority {
+                tie_rule: TieRule::Random,
+            },
+        ]);
+        for spec in specs {
+            assert_eq!(spec.name(), spec.build().name(), "{spec:?}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Theorem 1 assumes every vertex is independently blue with probability
 //! `1/2 − δ`; the other schemes here (exact counts, placement by degree or by
 //! block) exist to probe how much that independence assumption matters —
-//! the paper explicitly notes that the expander-based analyses ([5]) work in
+//! the paper explicitly notes that the expander-based analyses (\[5]) work in
 //! an adversarial-placement setting while its own proof exploits the i.i.d.
 //! start.
 

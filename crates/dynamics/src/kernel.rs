@@ -11,10 +11,10 @@
 //!   counts are a popcount scan;
 //! * **batched RNG** — neighbour indices come from whole `u64` draws mapped
 //!   onto `[0, deg)` with Lemire's multiply-shift reduction
-//!   ([`sample_index`]), one draw per sample, no rejection loop, with the
+//!   (`sample_index`), one draw per sample, no rejection loop, with the
 //!   degree/row lookup hoisted out of the k-sample loop;
 //! * **static dispatch** — [`ProtocolKind`] names the built-in protocols and
-//!   [`dispatch_chunk_topology`] selects a fully monomorphized chunk kernel
+//!   `dispatch_chunk_topology` selects a fully monomorphized chunk kernel
 //!   per (protocol kind, topology type) pair, so the protocol update, the
 //!   topology's neighbour sampling and the RNG inline into one tight loop.
 //!   Custom protocols keep working through the object-safe [`Protocol`]
@@ -29,7 +29,7 @@
 //! path below; the complete graph is no longer an ad-hoc special case but
 //! simply the [`bo3_graph::Complete`] topology, whose arithmetic neighbour
 //! synthesis (and the popcount local-majority shortcut via
-//! [`Topology::is_all_but_self`]) the [`dispatch_chunk`] CSR entry point
+//! [`Topology::is_all_but_self`]) the `dispatch_chunk` CSR entry point
 //! selects whenever `CsrGraph::is_complete` holds.
 //!
 //! # Determinism contract

@@ -125,7 +125,8 @@ impl MonteCarlo {
 
     /// Runs every replica and aggregates the results.
     pub fn run(&self, graph: &CsrGraph) -> Result<MonteCarloReport> {
-        self.run_replicas(&|replica| self.run_one(graph, replica))
+        let workers = self.resolved_threads().min(self.replicas.max(1));
+        self.run_replicas(workers, &|replica| self.run_one(graph, replica))
     }
 
     /// Runs every replica on an implicit (or adapted) [`Topology`] and
@@ -142,25 +143,42 @@ impl MonteCarlo {
                 reason: "topology Monte-Carlo requires the synchronous schedule".into(),
             });
         }
-        self.run_replicas(&|replica| self.run_one_on_topology(topo, replica))
+        // Split the worker budget between replica-level parallelism and
+        // per-replica round parallelism: with many replicas the efficient
+        // direction is across replicas (each replica single-threaded); with
+        // few replicas on a huge topology the leftover workers parallelise
+        // the round chunks instead.  The topology engine is bit-identical at
+        // any thread count, so this split never changes the report.
+        let threads = self.resolved_threads();
+        let outer = threads.min(self.replicas.max(1));
+        let intra = (threads / outer).max(1);
+        self.run_replicas(outer, &|replica| {
+            self.replica_on_topology(topo, replica, intra)
+        })
     }
 
-    /// Shared replica driver: executes `run_one` for every replica index,
-    /// sequentially or across the worker pool, preserving replica order.
-    fn run_replicas(
-        &self,
-        run_one: &(dyn Fn(usize) -> Result<ReplicaOutcome> + Sync),
-    ) -> Result<MonteCarloReport> {
-        let threads = if self.threads == 0 {
+    /// The worker budget with `0` resolved to the available parallelism.
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
         } else {
             self.threads
-        };
-        let threads = threads.min(self.replicas.max(1));
+        }
+    }
 
-        if threads <= 1 {
+    /// Shared replica driver: executes `run_one` for every replica index,
+    /// sequentially or across the worker pool, preserving replica order.
+    /// `workers` is the replica-level worker count, already capped by the
+    /// caller (the callers are the only places the thread-budget split is
+    /// decided).
+    fn run_replicas(
+        &self,
+        workers: usize,
+        run_one: &(dyn Fn(usize) -> Result<ReplicaOutcome> + Sync),
+    ) -> Result<MonteCarloReport> {
+        if workers <= 1 {
             let mut outcomes = Vec::with_capacity(self.replicas);
             for replica in 0..self.replicas {
                 outcomes.push(run_one(replica)?);
@@ -173,7 +191,7 @@ impl MonteCarlo {
             parking_lot::Mutex::new((0..self.replicas).map(|_| None).collect());
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
+            for _ in 0..workers {
                 scope.spawn(|_| loop {
                     let replica = next_replica.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if replica >= self.replicas {
@@ -201,6 +219,18 @@ impl MonteCarlo {
         topo: &T,
         replica: usize,
     ) -> Result<ReplicaOutcome> {
+        self.replica_on_topology(topo, replica, 1)
+    }
+
+    /// [`MonteCarlo::run_one_on_topology`] with an explicit per-replica
+    /// worker count for the round chunks (the outcome does not depend on it;
+    /// only the wall clock does).
+    fn replica_on_topology<T: Topology>(
+        &self,
+        topo: &T,
+        replica: usize,
+        threads: usize,
+    ) -> Result<ReplicaOutcome> {
         if self.schedule != Schedule::Synchronous {
             return Err(crate::error::DynamicsError::InvalidParameter {
                 reason: "topology Monte-Carlo requires the synchronous schedule".into(),
@@ -211,7 +241,9 @@ impl MonteCarlo {
         // The replica stream hands the run its own master seed, mirroring
         // how the graph path keeps consuming the replica RNG inside `run`.
         let run_seed = rng.next_u64();
-        let simulator = TopologySimulator::new(topo)?.with_stopping(self.stopping);
+        let simulator = TopologySimulator::new(topo)?
+            .with_stopping(self.stopping)
+            .with_threads(threads);
         let result = simulator.run(self.protocol.kind(), initial, run_seed)?;
         Ok(ReplicaOutcome {
             replica,

@@ -16,9 +16,9 @@
 //! topology-generic kernels of [`crate::kernel`] over a shared bit-packed
 //! snapshot (complete graphs as the implicit `Complete` topology, other
 //! graphs as `CsrTopology`); custom protocols use the generic
-//! [`update_chunk`] fallback.  Both consume the chunk RNG identically, so
+//! `update_chunk` fallback.  Both consume the chunk RNG identically, so
 //! the determinism contract holds across paths.  The chunk scheduler
-//! ([`run_chunks`]) is shared with the adjacency-free
+//! (`run_chunks`) is shared with the adjacency-free
 //! [`crate::topology_sim::TopologySimulator`].
 
 use rand::rngs::StdRng;

@@ -9,7 +9,7 @@ use crate::protocol::{count_blue_samples, resolve_majority, Protocol, TieRule, U
 /// Best-of-k: sample `k` neighbours uniformly with replacement and adopt the
 /// majority colour; the tie rule decides even-`k` ties.
 ///
-/// Odd `k ≥ 5` is the regime of Abdullah & Draief ([1] in the paper), whose
+/// Odd `k ≥ 5` is the regime of Abdullah & Draief (\[1] in the paper), whose
 /// result needs a *large* initial bias; experiment E12 contrasts it with the
 /// paper's `k = 3` at small `δ`.  `k = 1`, `2` and `3` reproduce the
 /// dedicated protocols exactly (in distribution) and the tests check that.

@@ -8,7 +8,7 @@ use crate::protocol::{count_blue_samples, resolve_majority, Protocol, TieRule, U
 
 /// Best-of-2 ("two choices" voting): every vertex samples two neighbours with
 /// replacement; if they agree it adopts their colour, otherwise the tie rule
-/// decides (keep own opinion, the convention of Cooper–Elsässer–Radzik [4],
+/// decides (keep own opinion, the convention of Cooper–Elsässer–Radzik \[4],
 /// or pick at random, in which case the protocol degenerates to the voter
 /// model in distribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

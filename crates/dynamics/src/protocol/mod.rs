@@ -4,9 +4,9 @@
 //! | Protocol | Paper reference | Behaviour |
 //! |---|---|---|
 //! | [`Voter`] (Best-of-1) | §1 | copy one random neighbour |
-//! | [`BestOfTwo`] | [4], [8] | two samples; tie → keep own / random |
+//! | [`BestOfTwo`] | \[4], \[8] | two samples; tie → keep own / random |
 //! | [`BestOfThree`] | this paper | three samples; strict majority |
-//! | [`BestOfK`] | [1], [2] | `k` samples with either tie rule |
+//! | [`BestOfK`] | \[1], \[2] | `k` samples with either tie rule |
 //! | [`LocalMajority`] | classic deterministic baseline | full-neighbourhood majority |
 //!
 //! All protocols implement [`Protocol`], which is object-safe so the

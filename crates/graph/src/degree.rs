@@ -3,7 +3,7 @@
 //! The main theorem is parameterised by the *minimum degree* written as
 //! `d = n^α`; [`DegreeStats::alpha`] recovers the exponent α so experiments
 //! can be expressed directly in the paper's terms.  The *effective minimum
-//! degree* of Abdullah & Draief (reference [1] of the paper) is also
+//! degree* of Abdullah & Draief (reference \[1] of the paper) is also
 //! provided, since experiment E12 compares against their Best-of-k (k ≥ 5)
 //! setting.
 
@@ -117,7 +117,7 @@ pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
 }
 
 /// Effective minimum degree in the sense of Abdullah & Draief
-/// (paper reference [1]): the smallest degree value whose multiplicity is at
+/// (paper reference \[1]): the smallest degree value whose multiplicity is at
 /// least `threshold_fraction · n`.
 ///
 /// Returns `None` if no degree value is that common.
@@ -172,7 +172,7 @@ pub fn is_graphical(sequence: &[usize]) -> bool {
 }
 
 /// Sum of the degrees of the vertex subset `set` — the quantity `d(X)` used
-/// by the expander-based analyses ([4], [5]) that the paper compares against.
+/// by the expander-based analyses (\[4], \[5]) that the paper compares against.
 pub fn volume(graph: &CsrGraph, set: &[usize]) -> Result<usize> {
     let mut total = 0usize;
     for &v in set {

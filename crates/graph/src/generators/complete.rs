@@ -5,7 +5,7 @@ use crate::csr::CsrGraph;
 /// Complete graph on `n` vertices.
 ///
 /// This is the topology studied by most of the prior Best-of-k literature
-/// ([2], [8] in the paper); the paper's contribution is precisely to move
+/// (\[2], \[8] in the paper); the paper's contribution is precisely to move
 /// beyond it, so `K_n` serves as the reference point in every comparison.
 pub fn complete(n: usize) -> CsrGraph {
     let mut offsets = Vec::with_capacity(n + 1);

@@ -131,6 +131,31 @@ impl GraphSpec {
         }
     }
 
+    /// Number of vertices the generated graph will have, without generating
+    /// it (every family's vertex count is a closed form of its parameters).
+    pub fn num_vertices(&self) -> usize {
+        match *self {
+            GraphSpec::Complete { n }
+            | GraphSpec::Cycle { n }
+            | GraphSpec::Path { n }
+            | GraphSpec::Star { n }
+            | GraphSpec::Wheel { n }
+            | GraphSpec::ErdosRenyiGnp { n, .. }
+            | GraphSpec::ErdosRenyiGnm { n, .. }
+            | GraphSpec::DenseForAlpha { n, .. }
+            | GraphSpec::RandomRegular { n, .. }
+            | GraphSpec::ChungLuPowerLaw { n, .. }
+            | GraphSpec::PlantedPartition { n, .. } => n,
+            GraphSpec::CompleteBipartite { a, b } => a + b,
+            GraphSpec::Hypercube { dim } => 1usize << dim,
+            GraphSpec::Torus2d { rows, cols } | GraphSpec::Grid2d { rows, cols } => rows * cols,
+            GraphSpec::Barbell { clique, bridge } => 2 * clique + bridge,
+            GraphSpec::CorePeriphery {
+                core, periphery, ..
+            } => core + periphery,
+        }
+    }
+
     /// A short human-readable label for reports and bench names.
     pub fn label(&self) -> String {
         match *self {

@@ -49,6 +49,7 @@ pub mod generators;
 pub mod io;
 pub mod properties;
 pub mod sampling;
+pub mod spec;
 pub mod spectral;
 pub mod topology;
 pub mod traversal;
@@ -57,6 +58,7 @@ pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::{GraphError, Result};
 pub use sampling::NeighbourSampler;
+pub use spec::{BuiltTopology, TopologySpec, GRAPH_SEED_SALT};
 pub use topology::{
     Complete, CompleteBipartite, CompleteMultipartite, CsrTopology, ImplicitGnp, ImplicitSbm,
     Topology,

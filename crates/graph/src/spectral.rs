@@ -1,6 +1,6 @@
 //! Spectral estimates for the random-walk transition matrix.
 //!
-//! The expander-based analyses the paper compares against ([4], [5]) phrase
+//! The expander-based analyses the paper compares against (\[4], \[5]) phrase
 //! their initial-bias conditions in terms of `λ₂`, the second largest
 //! absolute eigenvalue of the transition matrix `P = D⁻¹A`.  We estimate it
 //! with deflated power iteration on the *lazy* walk `(I + P)/2`, which makes
@@ -221,7 +221,7 @@ pub fn conductance(graph: &CsrGraph, set: &[usize]) -> Result<f64> {
     Ok(cut as f64 / denom as f64)
 }
 
-/// The initial-bias threshold of Cooper et al. [5]: red wins w.h.p. when
+/// The initial-bias threshold of Cooper et al. \[5]: red wins w.h.p. when
 /// `d(R₀) − d(B₀) ≥ 4 λ₂² d(V)`. Returns that right-hand side so experiments
 /// can compare the paper's condition with the expander-based one.
 pub fn expander_bias_threshold(graph: &CsrGraph, lambda2: f64) -> f64 {

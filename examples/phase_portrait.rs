@@ -25,9 +25,15 @@ fn main() {
     banner("Phase portrait of one Best-of-Three trajectory");
     println!("complete graph on {n} vertices, delta = {delta}");
 
-    let graph = GraphSpec::Complete { n }
-        .generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
-        .expect("graph generation failed");
+    // The traced single-run drill-down needs materialised rows, so the spec
+    // is built to a graph explicitly (K_n is deterministic; the seed only
+    // matters for random families).
+    let graph = TopologySpec::Materialised(GraphSpec::Complete { n })
+        .build(seed)
+        .expect("graph generation failed")
+        .as_graph()
+        .expect("materialised spec yields a graph")
+        .clone();
 
     let simulator = Simulator::new(&graph).expect("simulator").with_trace(true);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -33,17 +33,13 @@ fn main() {
         } else {
             (20_000, replicas)
         };
-        let experiment = Experiment {
-            name: format!("faceoff/{label}"),
-            graph: graph_spec.clone(),
-            protocol,
-            initial: InitialCondition::BernoulliWithBias { delta },
-            schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(cap),
-            replicas: reps,
-            seed,
-            threads: 0,
-        };
+        let experiment = Experiment::on(graph_spec.clone())
+            .named(format!("faceoff/{label}"))
+            .protocol(protocol)
+            .initial(InitialCondition::BernoulliWithBias { delta })
+            .stopping(StoppingCondition::consensus_within(cap))
+            .replicas(reps)
+            .seed(seed);
         let result = experiment.run().expect("experiment failed");
         println!(
             "{label:<16} mean rounds: {:>10}   majority wins: {}",

@@ -21,24 +21,20 @@ use bo3_examples::{banner, rounds_with_spread, Args};
 
 fn agreement_on(
     name: &str,
-    graph: GraphSpec,
+    topology: impl Into<TopologySpec>,
     delta: f64,
     replicas: usize,
     seed: u64,
 ) -> ExperimentResult {
-    Experiment {
-        name: name.to_string(),
-        graph,
-        protocol: ProtocolSpec::BestOfThree,
-        initial: InitialCondition::BernoulliWithBias { delta },
-        schedule: Schedule::Synchronous,
-        stopping: StoppingCondition::consensus_within(20_000),
-        replicas,
-        seed,
-        threads: 0,
-    }
-    .run()
-    .expect("experiment failed")
+    Experiment::on(topology)
+        .named(name)
+        .protocol(ProtocolSpec::BestOfThree)
+        .initial(InitialCondition::BernoulliWithBias { delta })
+        .stopping(StoppingCondition::consensus_within(20_000))
+        .replicas(replicas)
+        .seed(seed)
+        .run()
+        .expect("experiment failed")
 }
 
 fn main() {
@@ -93,10 +89,10 @@ fn main() {
             overlay.report.rounds_to_consensus.as_ref().map(|s| s.p90)
         )
     );
-    if let Some(pred) = &overlay.prediction {
+    if let Some(pred) = overlay.prediction.computed() {
         println!(
             "paper regime check for the overlay: alpha ≈ {:.2}, in-theorem-regime = {}",
-            overlay.degree_stats.alpha().unwrap_or(f64::NAN),
+            overlay.alpha().unwrap_or(f64::NAN),
             pred.in_theorem_regime
         );
     }

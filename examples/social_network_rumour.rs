@@ -22,18 +22,15 @@ fn run(
     replicas: usize,
     seed: u64,
 ) -> ExperimentResult {
-    let experiment = Experiment {
-        name: name.to_string(),
-        graph: graph_spec,
-        protocol,
-        initial,
-        schedule: Schedule::Synchronous,
-        stopping: StoppingCondition::consensus_within(50_000),
-        replicas,
-        seed,
-        threads: 0,
-    };
-    experiment.run().expect("experiment failed")
+    Experiment::on(graph_spec)
+        .named(name)
+        .protocol(protocol)
+        .initial(initial)
+        .stopping(StoppingCondition::consensus_within(50_000))
+        .replicas(replicas)
+        .seed(seed)
+        .run()
+        .expect("experiment failed")
 }
 
 fn main() {

@@ -1,0 +1,189 @@
+//! End-to-end coverage of the Scenario API (`TopologySpec` + builder-style
+//! `Experiment`): every spec variant runs through `Experiment::run`, and
+//! materialised specs stay bit-identical to the pre-redesign execution path
+//! at several thread counts.
+
+use bo3_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_experiment(spec: TopologySpec) -> Experiment {
+    Experiment::on(spec)
+        .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+        .stopping(StoppingCondition::consensus_within(10_000))
+        .replicas(4)
+        .seed(0x5CE)
+}
+
+/// Shared per-variant assertions: the run completes, every replica is
+/// reported, and the result names the right topology size.
+fn check_runs(spec: TopologySpec) -> ExperimentResult {
+    let n = spec.num_vertices();
+    let label = spec.label();
+    let result = paper_experiment(spec).run().unwrap();
+    assert_eq!(result.n, n, "{label}");
+    assert_eq!(result.report.outcomes.len(), 4, "{label}");
+    assert!(
+        (result.report.consensus_rate - 1.0).abs() < 1e-12,
+        "{label} should reach consensus"
+    );
+    result
+}
+
+#[test]
+fn complete_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::Complete { n: 1_200 });
+    assert!(result.red_swept());
+    // Closed-form exact degree stats, no adjacency.
+    assert_eq!(result.degree_stats.computed().unwrap().min, 1_199);
+    assert!(result.topology_memory_bytes < 1_024);
+    assert!(result.prediction.is_computed());
+}
+
+#[test]
+fn complete_bipartite_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::CompleteBipartite { a: 500, b: 700 });
+    let stats = result.degree_stats.computed().unwrap();
+    assert_eq!(stats.min, 500);
+    assert_eq!(stats.max, 700);
+}
+
+#[test]
+fn complete_multipartite_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::CompleteMultipartite {
+        blocks: vec![300, 400, 500],
+    });
+    let stats = result.degree_stats.computed().unwrap();
+    assert_eq!(stats.min, 700);
+    assert_eq!(stats.max, 900);
+}
+
+#[test]
+fn implicit_gnp_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::ImplicitGnp { n: 1_500, p: 0.4 });
+    assert!(result.red_swept());
+    // Hash-defined: the dense analyses degrade to typed skips, not errors.
+    assert!(result.degree_stats.skipped_reason().is_some());
+    assert!(result.prediction.skipped_reason().is_some());
+}
+
+#[test]
+fn implicit_sbm_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::ImplicitSbm {
+        n: 1_200,
+        blocks: 2,
+        p_in: 0.5,
+        p_out: 0.4,
+    });
+    assert!(result.degree_stats.skipped_reason().is_some());
+}
+
+#[test]
+fn materialised_variant_runs_end_to_end() {
+    let result = check_runs(TopologySpec::Materialised(GraphSpec::DenseForAlpha {
+        n: 1_000,
+        alpha: 0.75,
+    }));
+    assert!(result.red_swept());
+    assert!(result.degree_stats.is_computed());
+    assert!(result.prediction.is_computed());
+}
+
+/// The migration pin: for a materialised spec, `Experiment::run` must
+/// produce the same seeded `MonteCarloReport` as the pre-redesign pipeline
+/// (generate the graph from `StdRng(seed ^ GRAPH_SEED_SALT)`, then run
+/// `MonteCarlo` on it) — bit-for-bit, at 1, 2 and 8 worker threads.
+#[test]
+fn materialised_reports_are_bit_identical_to_the_pre_redesign_path() {
+    let graph_spec = GraphSpec::DenseForAlpha { n: 900, alpha: 0.8 };
+    let seed = 0xBEE5;
+    let delta = 0.1;
+    let replicas = 6;
+
+    // The pre-redesign path, reproduced verbatim.
+    let graph = graph_spec
+        .generate(&mut StdRng::seed_from_u64(
+            seed ^ bo3_graph::GRAPH_SEED_SALT,
+        ))
+        .unwrap();
+
+    for threads in [1usize, 2, 8] {
+        let legacy_report = MonteCarlo {
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::BernoulliWithBias { delta },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(10_000),
+            replicas,
+            master_seed: seed,
+            threads,
+        }
+        .run(&graph)
+        .unwrap();
+
+        let v2 = Experiment::on(graph_spec.clone())
+            .named("pin/materialised")
+            .initial(InitialCondition::BernoulliWithBias { delta })
+            .stopping(StoppingCondition::consensus_within(10_000))
+            .replicas(replicas)
+            .seed(seed)
+            .threads(threads)
+            .run()
+            .unwrap();
+
+        assert_eq!(
+            v2.report, legacy_report,
+            "materialised Experiment v2 diverged from the pre-redesign path at {threads} threads"
+        );
+    }
+}
+
+/// Implicit runs are bit-identical across thread counts (the topology
+/// engine's chunk-seeded determinism, surfaced through the new API).
+#[test]
+fn implicit_reports_are_thread_count_invariant() {
+    let run_with = |threads: usize| {
+        paper_experiment(TopologySpec::ImplicitSbm {
+            n: 9_000, // spans multiple 4096-vertex kernel chunks
+            blocks: 3,
+            p_in: 0.4,
+            p_out: 0.2,
+        })
+        .threads(threads)
+        .run()
+        .unwrap()
+    };
+    let one = run_with(1);
+    assert_eq!(one, run_with(2));
+    assert_eq!(one, run_with(8));
+}
+
+/// The registry's short names compose with the builder end to end.
+#[test]
+fn registry_short_names_drive_experiments() {
+    for name in TOPOLOGY_NAMES {
+        let spec = resolve_topology(name, 600).unwrap_or_else(|| panic!("{name}"));
+        let result = Experiment::on(spec)
+            .named(format!("registry/{name}"))
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
+            .stopping(StoppingCondition::fixed_rounds(2))
+            .replicas(1)
+            .seed(1)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(result.n, 600, "{name}");
+    }
+}
+
+/// A full experiment config survives JSON and back, and the deserialised
+/// copy reproduces the original's seeded report exactly.
+#[test]
+fn serialised_configs_reproduce_identical_reports() {
+    let original = paper_experiment(TopologySpec::Complete { n: 800 }).named("json/pin");
+    let text = original.to_json_string();
+    let reloaded = Experiment::from_json_str(&text).unwrap();
+    assert_eq!(reloaded, original);
+    assert_eq!(
+        reloaded.run().unwrap().report,
+        original.run().unwrap().report
+    );
+}

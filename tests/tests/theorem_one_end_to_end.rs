@@ -39,17 +39,15 @@ fn consensus_time_is_flat_while_n_grows() {
 #[test]
 fn every_replica_of_a_monte_carlo_batch_ends_red() {
     let (graph, delta) = dense_scenario(2_000, 3);
-    let exp = Experiment {
-        name: "it/theorem-one".into(),
-        graph: GraphSpec::Complete { n: 1 }, // unused: run_on supplies the graph
-        protocol: ProtocolSpec::BestOfThree,
-        initial: InitialCondition::BernoulliWithBias { delta },
-        schedule: Schedule::Synchronous,
-        stopping: StoppingCondition::consensus_within(10_000),
-        replicas: 12,
-        seed: 5,
-        threads: 0,
-    };
+    // The spec only names the topology for the report; run_on supplies the
+    // already generated graph.
+    let exp = Experiment::on(GraphSpec::Complete { n: 1 })
+        .named("it/theorem-one")
+        .protocol(ProtocolSpec::BestOfThree)
+        .initial(InitialCondition::BernoulliWithBias { delta })
+        .stopping(StoppingCondition::consensus_within(10_000))
+        .replicas(12)
+        .seed(5);
     let result = exp.run_on(&graph).unwrap();
     assert!(result.red_swept());
     assert!((result.report.consensus_rate - 1.0).abs() < 1e-12);
