@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         group.measurement_time(Duration::from_millis(300));
     }
     let (graph, init) = scenario();
-    let sim = Simulator::new(&graph).expect("simulator");
+    let sim = Engine::on_graph(&graph).expect("engine");
 
     // The headline pair: Best-of-Three through each dispatch path.
     group.bench_with_input(BenchmarkId::new("one_round", "bo3-kernel"), &(), |b, ()| {
@@ -67,7 +67,11 @@ fn bench(c: &mut Criterion) {
 
 /// Measures whole-rounds-per-second of `step_seeded` for `protocol` and
 /// returns vertex updates per second.
-fn updates_per_sec(sim: &Simulator<'_>, init: &Configuration, protocol: &dyn Protocol) -> f64 {
+fn updates_per_sec(
+    sim: &Engine<CsrTopology<'_>>,
+    init: &Configuration,
+    protocol: &dyn Protocol,
+) -> f64 {
     let mut scratch = Vec::new();
     // Warm-up round (page in the graph, size the buffers).
     sim.step_seeded(protocol, init, &mut scratch, SEED, 0);
@@ -91,7 +95,7 @@ fn updates_per_sec(sim: &Simulator<'_>, init: &Configuration, protocol: &dyn Pro
 /// Writes the updates/sec snapshot consumed by the perf-trajectory tracking.
 fn write_snapshot() {
     let (graph, init) = scenario();
-    let sim = Simulator::new(&graph).expect("simulator");
+    let sim = Engine::on_graph(&graph).expect("engine");
     let kernel = updates_per_sec(&sim, &init, &BestOfThree::new());
     let dynamic = updates_per_sec(&sim, &init, &DynOnly(BestOfThree::new()));
     let speedup = kernel / dynamic;

@@ -34,10 +34,10 @@ fn bench_one_round<T: Topology>(group: &mut criterion::BenchmarkGroup<'_>, topo:
     let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
         .sample_n(n, &mut rng)
         .expect("init");
-    let sim = TopologySimulator::new(topo).expect("simulator");
+    let sim = Engine::new(topo).expect("engine");
     group.bench_with_input(BenchmarkId::new("one_round", label), &(), |b, ()| {
         let mut scratch = Vec::new();
-        b.iter(|| sim.step(ProtocolKind::BestOfThree, &init, &mut scratch, SEED, 0));
+        b.iter(|| sim.step_seeded_kind(ProtocolKind::BestOfThree, &init, &mut scratch, SEED, 0));
     });
 }
 

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     }
     .generate(&mut StdRng::seed_from_u64(0xB3))
     .expect("graph");
-    let sim = Simulator::new(&graph).expect("simulator");
+    let sim = Engine::on_graph(&graph).expect("engine");
     let mut rng = StdRng::seed_from_u64(0xB3);
     let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
         .sample(&graph, &mut rng)

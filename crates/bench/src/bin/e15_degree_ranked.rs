@@ -1,0 +1,10 @@
+//! E15: degree-ranked (adversarial, oracle-placed) vs uniform initial
+//! conditions on the implicit SBM — consensus-round comparison at scale
+//!
+//! Usage: `cargo run --release -p bo3-bench --bin e15_degree_ranked -- [--scale quick|paper] [--csv out.csv]`
+
+fn main() {
+    let (scale, csv) = bo3_bench::scale_and_csv_from_args();
+    let table = bo3_bench::e15_degree_ranked::run(scale);
+    bo3_bench::emit(&table, csv.as_deref());
+}

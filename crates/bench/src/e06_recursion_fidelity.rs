@@ -32,7 +32,7 @@ fn measured_trajectory(n: usize, delta: f64, seed: u64) -> Vec<f64> {
     let graph = GraphSpec::Complete { n }
         .generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
         .expect("graph");
-    let sim = Simulator::new(&graph).expect("simulator").with_trace(true);
+    let sim = Engine::on_graph(&graph).expect("engine").with_trace(true);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let init = InitialCondition::BernoulliWithBias { delta }
         .sample(&graph, &mut rng)

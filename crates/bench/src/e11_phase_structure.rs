@@ -34,7 +34,7 @@ pub fn measure(
     let graph = GraphSpec::Complete { n }
         .generate(&mut rand::rngs::StdRng::seed_from_u64(seed))
         .expect("graph");
-    let sim = Simulator::new(&graph).expect("simulator").with_trace(true);
+    let sim = Engine::on_graph(&graph).expect("engine").with_trace(true);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let init = InitialCondition::BernoulliWithBias { delta }
         .sample(&graph, &mut rng)

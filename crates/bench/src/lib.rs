@@ -28,6 +28,7 @@ pub mod e10_sprinkling_figure;
 pub mod e11_phase_structure;
 pub mod e12_best_of_k;
 pub mod e14_scale;
+pub mod e15_degree_ranked;
 
 use bo3_core::report::Table;
 

@@ -74,7 +74,7 @@ impl DualityCheck {
 
         // Forward side: run the real dynamics for exactly `rounds` rounds and
         // look at the observed vertex.
-        let simulator = Simulator::new(graph)?
+        let simulator = Engine::on_graph(graph)?
             .with_stopping(StoppingCondition::fixed_rounds(self.rounds))
             .with_trace(false);
         let protocol = BestOfThree::new();

@@ -19,12 +19,13 @@
 //! assert!(result.red_swept());
 //! ```
 //!
-//! The topology decides the execution path internally: materialised specs
-//! ([`TopologySpec::Materialised`]) generate a CSR graph and run the classic
-//! graph engine — bit-identical to
-//! the pre-redesign API for the same seed — while the implicit families run
-//! adjacency-free through `MonteCarlo::run_on_topology`, which is what lets
-//! every experiment scale to `n = 10⁶` and beyond.  Dense whole-graph
+//! Every spec variant — materialised or implicit, synchronous or
+//! asynchronous schedule — runs through the **one** topology-generic
+//! engine (`bo3_dynamics::Engine`, via `MonteCarlo::run_on_topology`).
+//! Materialised specs keep the pre-redesign replica-RNG plumbing, so their
+//! seeded reports are bit-identical to the historical graph pipeline, while
+//! the implicit families run adjacency-free, which is what lets every
+//! experiment scale to `n = 10⁶` and beyond.  Dense whole-graph
 //! analyses (degree statistics, the paper-prediction column) *degrade
 //! gracefully* on topologies that cannot afford them: the result carries a
 //! typed [`Analysis::Skipped`] with the reason instead of failing the run.
@@ -33,7 +34,6 @@ use serde::{Deserialize, Serialize};
 
 use bo3_dynamics::prelude::*;
 use bo3_graph::degree::DegreeStats;
-use bo3_graph::generators::GraphSpec;
 use bo3_graph::topology::materialize;
 use bo3_graph::traversal::is_connected;
 use bo3_graph::{BuiltTopology, CsrGraph, Topology, TopologySpec};
@@ -132,8 +132,8 @@ impl Experiment {
     /// 8 replicas, seed 0, all available threads.
     ///
     /// Anything convertible into a [`TopologySpec`] is accepted — in
-    /// particular a bare [`GraphSpec`], which maps to
-    /// [`TopologySpec::Materialised`].
+    /// particular a bare [`bo3_graph::generators::GraphSpec`], which maps
+    /// to [`TopologySpec::Materialised`].
     pub fn on(topology: impl Into<TopologySpec>) -> Self {
         let topology = topology.into();
         Experiment {
@@ -234,23 +234,80 @@ impl Experiment {
         }
     }
 
-    /// Runs the experiment end to end.
+    /// Runs the experiment end to end — every spec variant, either
+    /// schedule, through the one topology-generic engine.
     ///
-    /// Materialised specs generate their CSR graph and run the classic
-    /// graph engine (bit-identical seeded reports to the pre-redesign API);
-    /// implicit specs run adjacency-free on the topology engine.
+    /// Materialised specs additionally get the whole-graph validations
+    /// (connectivity) and measured degree statistics the historical graph
+    /// pipeline performed, and keep its replica-RNG plumbing, so their
+    /// seeded reports are bit-identical across the engine unification;
+    /// implicit specs run adjacency-free with the dense analyses degrading
+    /// to typed [`Analysis::Skipped`] outcomes where they cannot run.
     pub fn run(&self) -> Result<ExperimentResult> {
+        self.validate()?;
         let built = self.build_topology()?;
-        match built.as_graph() {
-            Some(graph) => self.run_on(graph),
-            None => self.run_implicit(&built),
-        }
+        let degree_stats = match built.as_graph() {
+            Some(graph) => {
+                self.validate_graph(graph)?;
+                Analysis::Computed(DegreeStats::of(graph)?)
+            }
+            None => {
+                self.validate_implicit_regime(built.n())?;
+                match self.topology.closed_form_degree_stats() {
+                    Some(stats) => Analysis::Computed(stats),
+                    None => Analysis::skipped(format!(
+                        "degree statistics of {} are hash-defined (Θ(n) per vertex to read); \
+                         materialise the spec to measure them",
+                        self.topology.label()
+                    )),
+                }
+            }
+        };
+        let report = self.monte_carlo().run_on_topology(&built)?;
+        self.assemble(built.n(), built.memory_bytes(), degree_stats, report)
     }
 
     /// Runs the experiment on an already generated graph (useful when
-    /// several experiments share one expensive graph instance).
+    /// several experiments share one expensive graph instance), through the
+    /// same unified engine as [`Experiment::run`].
     pub fn run_on(&self, graph: &CsrGraph) -> Result<ExperimentResult> {
         self.validate()?;
+        self.validate_graph(graph)?;
+        let degree_stats = DegreeStats::of(graph)?;
+        let report = self.monte_carlo().run(graph)?;
+        self.assemble(
+            graph.num_vertices(),
+            graph.memory_bytes(),
+            Analysis::Computed(degree_stats),
+            report,
+        )
+    }
+
+    /// Assembles the result from the measurements and analyses.
+    fn assemble(
+        &self,
+        n: usize,
+        topology_memory_bytes: usize,
+        degree_stats: Analysis<DegreeStats>,
+        report: MonteCarloReport,
+    ) -> Result<ExperimentResult> {
+        let prediction = self.prediction_from(n, degree_stats.computed());
+        Ok(ExperimentResult {
+            name: self.name.clone(),
+            topology_label: self.topology.label(),
+            protocol_name: self.protocol.name(),
+            initial_label: self.initial.label(),
+            schedule: self.schedule,
+            n,
+            topology_memory_bytes,
+            degree_stats,
+            report,
+            prediction,
+        })
+    }
+
+    /// The whole-graph validations only a materialised graph can afford.
+    fn validate_graph(&self, graph: &CsrGraph) -> Result<()> {
         if graph.num_vertices() == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "the experiment graph is empty".into(),
@@ -264,60 +321,7 @@ impl Experiment {
                 ),
             });
         }
-        let degree_stats = DegreeStats::of(graph)?;
-        let report = self.monte_carlo().run(graph)?;
-        let prediction = self.prediction_from(graph.num_vertices(), Some(&degree_stats));
-        Ok(ExperimentResult {
-            name: self.name.clone(),
-            topology_label: self.topology.label(),
-            protocol_name: self.protocol.name(),
-            initial_label: self.initial.label(),
-            schedule: self.schedule,
-            n: graph.num_vertices(),
-            topology_memory_bytes: graph.memory_bytes(),
-            degree_stats: Analysis::Computed(degree_stats),
-            report,
-            prediction,
-        })
-    }
-
-    /// The adjacency-free path: replicas run on the topology engine and the
-    /// dense analyses degrade to typed [`Analysis::Skipped`] outcomes where
-    /// they cannot run.
-    fn run_implicit(&self, built: &BuiltTopology) -> Result<ExperimentResult> {
-        self.validate()?;
-        if self.schedule != Schedule::Synchronous {
-            return Err(CoreError::InvalidConfig {
-                reason: format!(
-                    "the asynchronous schedule reads materialised neighbour rows; \
-                     run {} as TopologySpec::Materialised instead",
-                    self.topology.label()
-                ),
-            });
-        }
-        self.validate_implicit_regime(built.n())?;
-        let degree_stats = match self.topology.closed_form_degree_stats() {
-            Some(stats) => Analysis::Computed(stats),
-            None => Analysis::skipped(format!(
-                "degree statistics of {} are hash-defined (Θ(n) per vertex to read); \
-                 materialise the spec to measure them",
-                self.topology.label()
-            )),
-        };
-        let report = self.monte_carlo().run_on_topology(built)?;
-        let prediction = self.prediction_from(built.n(), degree_stats.computed());
-        Ok(ExperimentResult {
-            name: self.name.clone(),
-            topology_label: self.topology.label(),
-            protocol_name: self.protocol.name(),
-            initial_label: self.initial.label(),
-            schedule: self.schedule,
-            n: built.n(),
-            topology_memory_bytes: built.memory_bytes(),
-            degree_stats,
-            report,
-            prediction,
-        })
+        Ok(())
     }
 
     fn validate(&self) -> Result<()> {
@@ -417,62 +421,6 @@ impl Experiment {
     }
 }
 
-/// The pre-redesign experiment shape: struct-literal construction over a
-/// bare [`GraphSpec`].  Kept for one release so downstream struct literals
-/// keep compiling; convert with [`From`] or call [`LegacyExperiment::run`],
-/// which forwards to the builder API (`graph` maps to
-/// [`TopologySpec::Materialised`], so results are bit-identical).
-#[deprecated(
-    note = "use builder-style `Experiment::on(TopologySpec)`; a `GraphSpec` converts \
-            into `TopologySpec::Materialised`"
-)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LegacyExperiment {
-    /// Short identifier used in reports.
-    pub name: String,
-    /// Which graph to generate.
-    pub graph: GraphSpec,
-    /// Which protocol to run.
-    pub protocol: ProtocolSpec,
-    /// Initial condition for every replica.
-    pub initial: InitialCondition,
-    /// Update schedule.
-    pub schedule: Schedule,
-    /// Per-replica stopping rule.
-    pub stopping: StoppingCondition,
-    /// Number of Monte-Carlo replicas.
-    pub replicas: usize,
-    /// Master seed.
-    pub seed: u64,
-    /// Worker threads (`0` = available parallelism).
-    pub threads: usize,
-}
-
-#[allow(deprecated)]
-impl From<LegacyExperiment> for Experiment {
-    fn from(legacy: LegacyExperiment) -> Self {
-        Experiment {
-            name: legacy.name,
-            topology: TopologySpec::Materialised(legacy.graph),
-            protocol: legacy.protocol,
-            initial: legacy.initial,
-            schedule: legacy.schedule,
-            stopping: legacy.stopping,
-            replicas: legacy.replicas,
-            seed: legacy.seed,
-            threads: legacy.threads,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl LegacyExperiment {
-    /// Runs the experiment through the v2 pipeline.
-    pub fn run(&self) -> Result<ExperimentResult> {
-        Experiment::from(self.clone()).run()
-    }
-}
-
 /// The outcome of one experiment: measurements plus the matching analyses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
@@ -531,6 +479,7 @@ impl ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bo3_graph::generators::GraphSpec;
 
     #[test]
     fn theorem_one_experiment_runs_and_red_sweeps() {
@@ -662,15 +611,15 @@ mod tests {
     }
 
     #[test]
-    fn asynchronous_schedule_requires_materialisation() {
+    fn asynchronous_schedule_runs_on_every_spec_kind() {
+        // Historically `schedule(AsynchronousRandomOrder)` on an implicit
+        // spec returned a typed rejection; the unified engine runs it.
         let implicit = Experiment::on(TopologySpec::Complete { n: 100 })
             .schedule(Schedule::AsynchronousRandomOrder)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
             .replicas(1);
-        assert!(matches!(
-            implicit.run(),
-            Err(CoreError::InvalidConfig { .. })
-        ));
-        // The same graph as a materialised spec supports it.
+        assert!(implicit.run().unwrap().red_swept());
+        // Materialised specs keep supporting it, as before.
         let materialised = Experiment::on(GraphSpec::Complete { n: 100 })
             .schedule(Schedule::AsynchronousRandomOrder)
             .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
@@ -736,33 +685,6 @@ mod tests {
             .stopping(StoppingCondition::consensus_within(200_000));
         let result = exp.run().unwrap();
         assert!(!result.red_swept(), "voter unexpectedly swept for red");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_struct_literals_convert_and_run() {
-        let legacy = LegacyExperiment {
-            name: "legacy/complete".into(),
-            graph: GraphSpec::Complete { n: 150 },
-            protocol: ProtocolSpec::BestOfThree,
-            initial: InitialCondition::BernoulliWithBias { delta: 0.12 },
-            schedule: Schedule::Synchronous,
-            stopping: StoppingCondition::consensus_within(10_000),
-            replicas: 5,
-            seed: 3,
-            threads: 0,
-        };
-        let via_legacy = legacy.run().unwrap();
-        let via_builder = Experiment::theorem_one(
-            "legacy/complete",
-            GraphSpec::Complete { n: 150 },
-            0.12,
-            5,
-            3,
-        )
-        .run()
-        .unwrap();
-        assert_eq!(via_legacy, via_builder);
     }
 
     #[test]

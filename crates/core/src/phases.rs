@@ -105,7 +105,7 @@ mod tests {
 
     fn run_trace(n: usize, delta: f64, seed: u64) -> Trace {
         let g = generators::complete(n);
-        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let sim = Engine::on_graph(&g).unwrap().with_trace(true);
         let mut rng = StdRng::seed_from_u64(seed);
         let init = InitialCondition::BernoulliWithBias { delta }
             .sample(&g, &mut rng)
@@ -170,7 +170,7 @@ mod tests {
         // Start from a blue majority: the bias is negative throughout and the
         // amplification phase never completes.
         let g = generators::complete(500);
-        let sim = Simulator::new(&g).unwrap().with_trace(true);
+        let sim = Engine::on_graph(&g).unwrap().with_trace(true);
         let mut rng = StdRng::seed_from_u64(4);
         let init = InitialCondition::Bernoulli {
             blue_probability: 0.7,

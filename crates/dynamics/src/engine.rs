@@ -1,22 +1,37 @@
-//! The single-threaded simulation engine.
+//! The unified simulation engine.
 //!
-//! [`Simulator`] owns nothing heavy: it borrows a graph, takes a protocol per
-//! run, and manages the double-buffered synchronous update (or the in-place
-//! asynchronous one).  The multi-threaded stepper lives in
-//! [`crate::parallel`] and reuses the same per-vertex update logic.
+//! [`Engine`] is generic over [`bo3_graph::Topology`] and owns every
+//! stepping implementation in the crate — one per [`Schedule`]:
 //!
-//! Built-in protocols execute through the topology-generic kernels of
-//! [`crate::kernel`]: a materialised complete graph is routed as the
-//! implicit `Complete` topology (synthesised rows, no adjacency reads) and
-//! everything else as `CsrTopology` (batched CSR path).  The fully generic
-//! engine — implicit `G(n, p)`, SBM and friends at `n = 10⁶` with no
-//! adjacency at all — is [`crate::topology_sim::TopologySimulator`].
+//! * **synchronous** — the paper's model: every vertex reads the previous
+//!   round's snapshot.  Built-in protocols run the monomorphized kernels of
+//!   [`crate::kernel`] over a bit-packed snapshot; the seeded entry points
+//!   derive one RNG per `(master_seed, round, chunk)` work unit and scale
+//!   across threads, bit-identical at any thread count.
+//! * **asynchronous (random sequential)** — the distributed-systems
+//!   ablation: every vertex updates exactly once per round, in a fresh
+//!   uniformly random order, reading the *current* (partially updated)
+//!   state.  Works on **any** topology — an implicit `G(n, 1/2)` at
+//!   `n = 10⁶` runs without materialising an edge — and the seeded entry
+//!   derives one RNG per round (see [`ASYNC_ROUND_CHUNK`]), so results are
+//!   reproducible and trivially independent of the thread count.
+//!
+//! Custom protocols (no [`Protocol::kind`]) read neighbour rows through
+//! [`UpdateContext`], which only a materialised graph can provide; the
+//! engine serves them whenever [`bo3_graph::Topology::as_graph`] yields one
+//! and returns a typed error otherwise.
+//!
+//! The historical engines survive as thin façades over this one type:
+//! [`Simulator`] (below) for borrowed CSR graphs,
+//! [`crate::parallel::ParallelSimulator`] and
+//! [`crate::topology_sim::TopologySimulator`] — each is construction sugar
+//! plus method forwarding, no stepping logic of its own.
 
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::{CsrGraph, NeighbourSampler};
+use bo3_graph::{CsrGraph, CsrTopology, NeighbourSampler, Topology};
 
 use crate::error::{DynamicsError, Result};
 use crate::kernel::{self, PackedSnapshot, ProtocolKind};
@@ -25,6 +40,18 @@ use crate::protocol::{Protocol, UpdateContext};
 use crate::schedule::Schedule;
 use crate::stopping::{StopReason, StoppingCondition};
 use crate::trace::Trace;
+
+/// The chunk coordinate reserved for the asynchronous schedule's per-round
+/// RNG stream.
+///
+/// A synchronous round is split into `CHUNK_SIZE` work units, chunk `c`
+/// drawing from the `(master_seed, round, c)` stream.  An asynchronous round
+/// is one sequential unit (each update may read the one before it), so it
+/// draws everything — the order shuffle, the neighbour samples, the tie
+/// coins — from the single `(master_seed, round, ASYNC_ROUND_CHUNK)` stream.
+/// Real chunk indices are bounded by `n / CHUNK_SIZE`, so `u64::MAX` can
+/// never collide with one.
+pub const ASYNC_ROUND_CHUNK: u64 = u64::MAX;
 
 /// Outcome of a single dynamics run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,31 +84,40 @@ impl RunResult {
     }
 }
 
-/// Synchronous / asynchronous voting dynamics simulator over a borrowed graph.
-pub struct Simulator<'g> {
-    graph: &'g CsrGraph,
-    sampler: NeighbourSampler<'g>,
+/// The one voting-dynamics engine: any [`Topology`], either [`Schedule`],
+/// seeded or caller-RNG execution, sequential or multi-threaded.
+pub struct Engine<T: Topology> {
+    topo: T,
     schedule: Schedule,
     stopping: StoppingCondition,
+    threads: usize,
     record_trace: bool,
 }
 
-impl<'g> Simulator<'g> {
-    /// Creates a simulator with the default (synchronous, stop-at-consensus)
-    /// behaviour. Fails if the graph has an isolated vertex, which could
-    /// never perform an update.
-    pub fn new(graph: &'g CsrGraph) -> Result<Self> {
-        if graph.num_vertices() == 0 {
+impl<T: Topology> Engine<T> {
+    /// Creates an engine over `topo` (owned or borrowed — `&T` is itself a
+    /// topology) with the defaults: synchronous schedule, stop at consensus,
+    /// single-threaded, no trace.
+    ///
+    /// Fails on the empty topology, and — when the topology is backed by a
+    /// materialised graph — on isolated vertices, which could never perform
+    /// an update.  Hash-defined implicit topologies cannot be checked
+    /// without `Θ(n²)` work and instead panic from sampling if run outside
+    /// their dense regime.
+    pub fn new(topo: T) -> Result<Self> {
+        if topo.n() == 0 {
             return Err(DynamicsError::InvalidGraph {
-                reason: "cannot run dynamics on the empty graph".into(),
+                reason: "cannot run dynamics on the empty topology".into(),
             });
         }
-        let sampler = NeighbourSampler::new(graph)?;
-        Ok(Simulator {
-            graph,
-            sampler,
+        if let Some(graph) = topo.as_graph() {
+            NeighbourSampler::new(graph)?;
+        }
+        Ok(Engine {
+            topo,
             schedule: Schedule::default(),
             stopping: StoppingCondition::default(),
+            threads: 1,
             record_trace: false,
         })
     }
@@ -98,15 +134,37 @@ impl<'g> Simulator<'g> {
         self
     }
 
+    /// Sets the worker thread count (`0` means "number of available CPUs").
+    ///
+    /// Only the synchronous seeded rounds fan out across workers; the result
+    /// never depends on this — only the wall clock does.  (An asynchronous
+    /// round is sequential by definition: each update may read the previous
+    /// one.)
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Enables or disables per-round trace recording.
     pub fn with_trace(mut self, record: bool) -> Self {
         self.record_trace = record;
         self
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// The configured update schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
     }
 
     /// The configured stopping condition.
@@ -114,31 +172,98 @@ impl<'g> Simulator<'g> {
         self.stopping
     }
 
-    /// Performs one synchronous round: reads `current`, writes the next
-    /// opinions into `next` (which is cleared and refilled).
-    ///
-    /// Built-in protocols ([`Protocol::kind`] returns `Some`) run through
-    /// the monomorphized kernels of [`crate::kernel`] over a bit-packed
-    /// snapshot; custom protocols use the generic `dyn` loop.  Both paths
-    /// consume `rng` identically, so the choice is invisible in the output.
-    pub fn step_synchronous(
-        &self,
-        protocol: &dyn Protocol,
-        current: &Configuration,
-        next: &mut Vec<Opinion>,
-        rng: &mut dyn RngCore,
-    ) {
-        let mut snap = PackedSnapshot::all_red(0);
-        self.step_synchronous_into(protocol, protocol.kind(), current, next, &mut snap, rng);
+    /// Number of worker threads in use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// [`Simulator::step_synchronous`] with the protocol kind pre-resolved
-    /// and a caller-owned snapshot buffer, so repeated rounds (as in
-    /// [`Simulator::run`]) repack in place instead of allocating.
-    fn step_synchronous_into(
+    // ------------------------------------------------------------------
+    // Validation helpers
+    // ------------------------------------------------------------------
+
+    fn check_initial(&self, initial: &Configuration) -> Result<()> {
+        if initial.len() != self.topo.n() {
+            return Err(DynamicsError::OpinionLengthMismatch {
+                got: initial.len(),
+                expected: self.topo.n(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Refuses full-neighbourhood protocols on huge hash-defined topologies
+    /// (no [`Topology::cheap_rows`]): enumerating their rows tests all
+    /// `n − 1` candidate pairs per vertex, `Θ(n²)` per round, so — matching
+    /// the `GraphError::TooLarge` policy of the graph-side diagnostics —
+    /// that combination is a typed error past
+    /// [`bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT`] instead of an open-ended
+    /// grind.
+    fn check_kind(&self, kind: ProtocolKind) -> Result<()> {
+        if matches!(kind, ProtocolKind::LocalMajority(_))
+            && !self.topo.is_all_but_self()
+            && !self.topo.cheap_rows()
+            && self.topo.n() > bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
+        {
+            return Err(DynamicsError::InvalidParameter {
+                reason: format!(
+                    "local majority on {} enumerates all n-1 candidate pairs per vertex \
+                     (Theta(n^2) per round); refusing beyond {} vertices",
+                    self.topo.label(),
+                    bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The materialised graph behind the topology, or the typed error the
+    /// `dyn`-protocol paths report on adjacency-free topologies.
+    fn dyn_graph(&self) -> Result<&CsrGraph> {
+        self.topo
+            .as_graph()
+            .ok_or_else(|| DynamicsError::InvalidParameter {
+                reason: format!(
+                    "custom protocols read materialised neighbour rows through UpdateContext, \
+                 which {} (an adjacency-free topology) cannot provide; use a built-in \
+                 protocol or a materialised graph",
+                    self.topo.label()
+                ),
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous stepping — the only implementations in the crate
+    // ------------------------------------------------------------------
+
+    /// Routes one kernel chunk to the best dispatch the topology supports:
+    /// graph-backed topologies go through the CSR entry point (which keeps
+    /// the materialised-complete-graph row synthesis), everything else
+    /// through the fully generic topology dispatch.  Both consume the RNG
+    /// identically.
+    #[inline]
+    fn dispatch<R: RngCore + ?Sized>(
+        &self,
+        kind: ProtocolKind,
+        snap: &PackedSnapshot,
+        start: usize,
+        out: &mut [Opinion],
+        rng: &mut R,
+    ) {
+        match self.topo.as_graph() {
+            Some(graph) => kernel::dispatch_chunk(kind, graph, snap, start, out, rng),
+            None => kernel::dispatch_chunk_topology(kind, &self.topo, snap, start, out, rng),
+        }
+    }
+
+    /// One caller-RNG synchronous round: reads `current`, writes the next
+    /// opinions into `next` (cleared and refilled), consuming `rng` over the
+    /// whole vertex range in order.
+    #[allow(clippy::too_many_arguments)] // private plumbing: scratch buffers ride along
+    fn step_sync_with_rng(
         &self,
         protocol: &dyn Protocol,
         kind: Option<ProtocolKind>,
+        sampler: Option<&NeighbourSampler<'_>>,
         current: &Configuration,
         next: &mut Vec<Opinion>,
         snap: &mut PackedSnapshot,
@@ -149,95 +274,29 @@ impl<'g> Simulator<'g> {
         if let Some(kind) = kind {
             next.resize(prev.len(), Opinion::Red);
             snap.repack_from(prev);
-            kernel::dispatch_chunk(kind, self.graph, snap, 0, next, rng);
+            self.dispatch(kind, snap, 0, next, rng);
             return;
         }
+        let sampler = sampler.expect("dyn-path rounds carry a sampler");
         next.reserve(prev.len());
-        for v in self.graph.vertices() {
+        for v in 0..prev.len() {
             let ctx = UpdateContext {
                 vertex: v,
                 current: prev[v],
                 previous: prev,
-                sampler: &self.sampler,
+                sampler,
             };
             next.push(protocol.update(&ctx, rng));
         }
     }
 
-    /// Performs one asynchronous round: every vertex updates exactly once, in
-    /// a fresh random order, reading the current (partially updated) state.
-    pub fn step_asynchronous(
+    /// One seeded synchronous kernel round: one RNG per
+    /// `(master_seed, round, chunk)` work unit via
+    /// [`kernel::kernel_chunk_rng`], chunks fanned across the worker pool —
+    /// bit-identical at any thread count.
+    fn step_sync_seeded_kernel(
         &self,
-        protocol: &dyn Protocol,
-        config: &mut Configuration,
-        rng: &mut dyn RngCore,
-    ) {
-        let mut order: Vec<usize> = Vec::new();
-        self.step_asynchronous_with(protocol, config, rng, &mut order);
-    }
-
-    /// [`Simulator::step_asynchronous`] with a caller-provided order buffer,
-    /// so repeated rounds (as in [`Simulator::run`]) allocate nothing.
-    pub fn step_asynchronous_with(
-        &self,
-        protocol: &dyn Protocol,
-        config: &mut Configuration,
-        rng: &mut dyn RngCore,
-        order: &mut Vec<usize>,
-    ) {
-        order.clear();
-        order.extend(self.graph.vertices());
-        {
-            let mut r = &mut *rng;
-            order.shuffle(&mut r);
-        }
-        // The asynchronous update reads the live configuration; we snapshot
-        // per vertex via the slice borrow below.
-        for &v in order.iter() {
-            let new_opinion = {
-                let prev = config.as_slice();
-                let ctx = UpdateContext {
-                    vertex: v,
-                    current: prev[v],
-                    previous: prev,
-                    sampler: &self.sampler,
-                };
-                protocol.update(&ctx, rng)
-            };
-            config.set(v, new_opinion);
-        }
-    }
-
-    /// Performs one synchronous round with the parallel stepper's
-    /// `(master_seed, round, chunk)` RNG derivation, single-threaded.
-    pub fn step_seeded(
-        &self,
-        protocol: &dyn Protocol,
-        current: &Configuration,
-        next: &mut Vec<Opinion>,
-        master_seed: u64,
-        round: u64,
-    ) {
-        let mut snap = PackedSnapshot::all_red(0);
-        self.step_seeded_into(
-            protocol,
-            protocol.kind(),
-            current,
-            next,
-            &mut snap,
-            master_seed,
-            round,
-        );
-    }
-
-    /// [`Simulator::step_seeded`] with the protocol kind pre-resolved and a
-    /// caller-owned snapshot buffer, so repeated rounds (as in
-    /// [`Simulator::run_seeded`]) repack in place instead of allocating.
-    #[allow(clippy::too_many_arguments)] // private plumbing: two scratch buffers ride along
-    fn step_seeded_into(
-        &self,
-        protocol: &dyn Protocol,
-        kind: Option<ProtocolKind>,
+        kind: ProtocolKind,
         current: &Configuration,
         next: &mut Vec<Opinion>,
         snap: &mut PackedSnapshot,
@@ -247,115 +306,238 @@ impl<'g> Simulator<'g> {
         let prev = current.as_slice();
         next.clear();
         next.resize(prev.len(), Opinion::Red);
-        if let Some(kind) = kind {
-            snap.repack_from(prev);
-            self.step_seeded_kernel(kind, snap, next, master_seed, round);
-            return;
-        }
-        for (chunk, out) in next.chunks_mut(crate::parallel::CHUNK_SIZE).enumerate() {
-            let mut rng = crate::parallel::chunk_rng(master_seed, round, chunk as u64);
-            crate::parallel::update_chunk(
-                protocol,
-                &self.sampler,
-                prev,
-                chunk * crate::parallel::CHUNK_SIZE,
-                out,
-                &mut rng,
-            );
-        }
+        snap.repack_from(prev);
+        let snap_ref = &*snap;
+        crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
+            self.dispatch(kind, snap_ref, start, out, &mut rng);
+        });
     }
 
-    /// Kernel-path seeded round over an already-packed snapshot, one
-    /// monomorphized chunk per `(master_seed, round, chunk)` RNG stream —
-    /// the exact per-chunk schedule of the parallel stepper.
-    fn step_seeded_kernel(
+    /// One seeded synchronous `dyn`-fallback round: the same chunk schedule
+    /// with the ChaCha8 [`crate::parallel::chunk_rng`] streams the fallback
+    /// has always used.
+    fn step_sync_seeded_dyn(
         &self,
-        kind: ProtocolKind,
-        snap: &PackedSnapshot,
-        next: &mut [Opinion],
+        protocol: &dyn Protocol,
+        sampler: &NeighbourSampler<'_>,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
         master_seed: u64,
         round: u64,
     ) {
-        for (chunk, out) in next.chunks_mut(crate::parallel::CHUNK_SIZE).enumerate() {
-            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk as u64);
-            kernel::dispatch_chunk(
-                kind,
-                self.graph,
-                snap,
-                chunk * crate::parallel::CHUNK_SIZE,
-                out,
-                &mut rng,
-            );
+        let prev = current.as_slice();
+        next.clear();
+        next.resize(prev.len(), Opinion::Red);
+        crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+            let mut rng = crate::parallel::chunk_rng(master_seed, round, chunk);
+            crate::parallel::update_chunk(protocol, sampler, prev, start, out, &mut rng);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous stepping — the only implementation in the crate
+    // ------------------------------------------------------------------
+
+    /// One asynchronous (random sequential) round: every vertex updates
+    /// exactly once, in a fresh uniformly random order drawn from `rng`,
+    /// reading the **current** (partially updated) state.
+    ///
+    /// Built-in protocols run the live-state kernel update
+    /// ([`kernel::update_vertex_live`]) against a bit-packed mirror of the
+    /// configuration — which is what makes the round topology-generic (an
+    /// implicit topology samples neighbours arithmetically) — while custom
+    /// protocols keep the materialised `dyn` loop.  Both consume `rng`
+    /// identically for the protocols both can express.
+    #[allow(clippy::too_many_arguments)] // private plumbing: scratch buffers ride along
+    fn step_async(
+        &self,
+        protocol: Option<&dyn Protocol>,
+        kind: Option<ProtocolKind>,
+        sampler: Option<&NeighbourSampler<'_>>,
+        config: &mut Configuration,
+        order: &mut Vec<usize>,
+        live: &mut PackedSnapshot,
+        rng: &mut dyn RngCore,
+    ) {
+        order.clear();
+        order.extend(0..config.len());
+        {
+            let mut r = &mut *rng;
+            order.shuffle(&mut r);
+        }
+        match kind {
+            Some(kind) => {
+                live.repack_from(config.as_slice());
+                // The live blue count makes the complete-topology local
+                // majority O(1) per update instead of a Θ(n) row walk; it is
+                // maintained exactly, so counts (and tie coins) match the
+                // row-walking path bit for bit.
+                let mut blues = live.blue_count();
+                for &v in order.iter() {
+                    let new = kernel::update_vertex_live(kind, &self.topo, live, blues, v, rng);
+                    if live.get(v) != new {
+                        blues = if new.is_blue() { blues + 1 } else { blues - 1 };
+                        live.set(v, new);
+                        config.set(v, new);
+                    }
+                }
+            }
+            None => {
+                let protocol = protocol.expect("dyn-path rounds carry a protocol");
+                let sampler = sampler.expect("dyn-path rounds carry a sampler");
+                for &v in order.iter() {
+                    let new_opinion = {
+                        let prev = config.as_slice();
+                        let ctx = UpdateContext {
+                            vertex: v,
+                            current: prev[v],
+                            previous: prev,
+                            sampler,
+                        };
+                        protocol.update(&ctx, rng)
+                    };
+                    config.set(v, new_opinion);
+                }
+            }
         }
     }
 
-    /// Runs the synchronous dynamics with all randomness derived from
-    /// `master_seed`, using the same per-chunk derivation as
-    /// [`crate::parallel::ParallelSimulator`].
-    ///
-    /// The returned [`RunResult`] is bit-for-bit identical to
-    /// `ParallelSimulator::run` with the same seed at **any** thread count —
-    /// the determinism contract documented in [`crate::parallel`], pinned by
-    /// the integration suite's determinism regression test.
-    ///
-    /// Fails if the simulator was configured with an asynchronous schedule,
-    /// which has no parallel counterpart.
-    pub fn run_seeded(
-        &self,
-        protocol: &dyn Protocol,
-        initial: Configuration,
-        master_seed: u64,
-    ) -> Result<RunResult> {
-        if self.schedule != Schedule::Synchronous {
-            return Err(DynamicsError::InvalidParameter {
-                reason: "run_seeded requires the synchronous schedule".into(),
-            });
+    // ------------------------------------------------------------------
+    // Public single-step entry points
+    // ------------------------------------------------------------------
+
+    /// The `dyn`-fallback sampler for the panicking step entry points:
+    /// `None` when `kind` is present (kernel paths need no sampler), else
+    /// the unchecked sampler over the backing graph — panicking, unlike the
+    /// run entry points' typed [`Engine::dyn_graph`] error, because the
+    /// step signatures predate the unification and return `()`.
+    fn step_sampler(&self, kind: Option<ProtocolKind>) -> Option<NeighbourSampler<'_>> {
+        if kind.is_some() {
+            return None;
         }
-        if initial.len() != self.graph.num_vertices() {
-            return Err(DynamicsError::OpinionLengthMismatch {
-                got: initial.len(),
-                expected: self.graph.num_vertices(),
-            });
-        }
-        let kind = protocol.kind();
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
-        // The packed snapshot is repacked in place each round; the only
-        // remaining kernel-path allocation is the batched kernel's small
-        // per-chunk pick buffer (amortised over 4096 vertices).
-        let mut snap = PackedSnapshot::all_red(0);
-        Ok(drive(
-            &self.stopping,
-            self.record_trace,
-            initial,
-            |config, round| {
-                self.step_seeded_into(
-                    protocol,
-                    kind,
-                    config,
-                    &mut scratch,
-                    &mut snap,
-                    master_seed,
-                    round as u64,
-                );
-                config.overwrite_from(&scratch);
-            },
+        Some(NeighbourSampler::new_unchecked(
+            self.dyn_graph()
+                .expect("custom protocols need a materialised graph"),
         ))
     }
 
-    /// Runs the dynamics from `initial` until the stopping condition fires.
+    /// Performs one caller-RNG synchronous round: reads `current`, writes
+    /// the next opinions into `next` (which is cleared and refilled).
+    ///
+    /// Built-in protocols ([`Protocol::kind`] returns `Some`) run through
+    /// the monomorphized kernels over a bit-packed snapshot; custom
+    /// protocols use the generic `dyn` loop, which needs a materialised
+    /// graph behind the topology (panics otherwise — use the run entry
+    /// points for a typed error).  Both paths consume `rng` identically, so
+    /// the choice is invisible in the output.
+    pub fn step_synchronous(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        rng: &mut dyn RngCore,
+    ) {
+        let kind = protocol.kind();
+        let sampler = self.step_sampler(kind);
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_sync_with_rng(
+            protocol,
+            kind,
+            sampler.as_ref(),
+            current,
+            next,
+            &mut snap,
+            rng,
+        );
+    }
+
+    /// Performs one caller-RNG asynchronous round on the live configuration
+    /// (see the module docs); panics like [`Engine::step_synchronous`] when
+    /// a custom protocol meets an adjacency-free topology.
+    pub fn step_asynchronous(
+        &self,
+        protocol: &dyn Protocol,
+        config: &mut Configuration,
+        rng: &mut dyn RngCore,
+    ) {
+        let kind = protocol.kind();
+        let sampler = self.step_sampler(kind);
+        let mut order = Vec::new();
+        let mut live = PackedSnapshot::all_red(0);
+        self.step_async(
+            Some(protocol),
+            kind,
+            sampler.as_ref(),
+            config,
+            &mut order,
+            &mut live,
+            rng,
+        );
+    }
+
+    /// Performs one synchronous round with the seeded
+    /// `(master_seed, round, chunk)` RNG derivation (kernel streams for
+    /// built-in protocols, ChaCha8 streams for the `dyn` fallback), across
+    /// the configured worker pool.
+    pub fn step_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        match protocol.kind() {
+            Some(kind) => {
+                self.step_sync_seeded_kernel(kind, current, next, &mut snap, master_seed, round)
+            }
+            None => {
+                let sampler = self.step_sampler(None).expect("dyn path builds a sampler");
+                self.step_sync_seeded_dyn(protocol, &sampler, current, next, master_seed, round);
+            }
+        }
+    }
+
+    /// [`Engine::step_seeded`] with the protocol given as a bare
+    /// [`ProtocolKind`] — the entry point for topology-generic callers that
+    /// never box a protocol.
+    pub fn step_seeded_kind(
+        &self,
+        kind: ProtocolKind,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        let mut snap = PackedSnapshot::all_red(0);
+        self.step_sync_seeded_kernel(kind, current, next, &mut snap, master_seed, round);
+    }
+
+    // ------------------------------------------------------------------
+    // Runners
+    // ------------------------------------------------------------------
+
+    /// Runs the dynamics from `initial` until the stopping condition fires,
+    /// with every draw taken from the caller's `rng` (both schedules;
+    /// sequential — seeded execution is what fans out across threads).
     pub fn run(
         &self,
         protocol: &dyn Protocol,
         initial: Configuration,
         rng: &mut dyn RngCore,
     ) -> Result<RunResult> {
-        if initial.len() != self.graph.num_vertices() {
-            return Err(DynamicsError::OpinionLengthMismatch {
-                got: initial.len(),
-                expected: self.graph.num_vertices(),
-            });
-        }
+        self.check_initial(&initial)?;
         let kind = protocol.kind();
+        if let Some(kind) = kind {
+            self.check_kind(kind)?;
+        }
+        let sampler = if kind.is_none() {
+            Some(NeighbourSampler::new_unchecked(self.dyn_graph()?))
+        } else {
+            None
+        };
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
         let mut snap = PackedSnapshot::all_red(0);
         let mut order: Vec<usize> = Vec::new();
@@ -365,9 +547,10 @@ impl<'g> Simulator<'g> {
             initial,
             |config, _round| match self.schedule {
                 Schedule::Synchronous => {
-                    self.step_synchronous_into(
+                    self.step_sync_with_rng(
                         protocol,
                         kind,
+                        sampler.as_ref(),
                         config,
                         &mut scratch,
                         &mut snap,
@@ -376,21 +559,260 @@ impl<'g> Simulator<'g> {
                     config.overwrite_from(&scratch);
                 }
                 Schedule::AsynchronousRandomOrder => {
-                    self.step_asynchronous_with(protocol, config, rng, &mut order);
+                    self.step_async(
+                        Some(protocol),
+                        kind,
+                        sampler.as_ref(),
+                        config,
+                        &mut order,
+                        &mut snap,
+                        rng,
+                    );
+                }
+            },
+        ))
+    }
+
+    /// Runs the dynamics with all randomness derived from `master_seed`.
+    ///
+    /// Synchronous runs derive one RNG per `(master_seed, round, chunk)`
+    /// work unit and are **bit-for-bit identical at any thread count**;
+    /// asynchronous runs derive one RNG per round (chunk coordinate
+    /// [`ASYNC_ROUND_CHUNK`]) and execute sequentially, so the same property
+    /// holds trivially.  See [`Schedule`] for the full determinism
+    /// semantics.
+    pub fn run_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        match protocol.kind() {
+            Some(kind) => self.run_seeded_kind(kind, initial, master_seed),
+            None => self.run_seeded_dyn(protocol, initial, master_seed),
+        }
+    }
+
+    /// [`Engine::run_seeded`] for a bare [`ProtocolKind`] — the
+    /// topology-generic entry point (custom `dyn` protocols have no kind and
+    /// go through [`Engine::run_seeded`] instead).
+    pub fn run_seeded_kind(
+        &self,
+        kind: ProtocolKind,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        self.check_initial(&initial)?;
+        self.check_kind(kind)?;
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        // The packed snapshot doubles as the async path's live mirror; it is
+        // repacked in place each round either way.
+        let mut snap = PackedSnapshot::all_red(0);
+        let mut order: Vec<usize> = Vec::new();
+        Ok(drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, round| match self.schedule {
+                Schedule::Synchronous => {
+                    self.step_sync_seeded_kernel(
+                        kind,
+                        config,
+                        &mut scratch,
+                        &mut snap,
+                        master_seed,
+                        round as u64,
+                    );
+                    config.overwrite_from(&scratch);
+                }
+                Schedule::AsynchronousRandomOrder => {
+                    let mut rng =
+                        kernel::kernel_chunk_rng(master_seed, round as u64, ASYNC_ROUND_CHUNK);
+                    self.step_async(
+                        None,
+                        Some(kind),
+                        None,
+                        config,
+                        &mut order,
+                        &mut snap,
+                        &mut rng,
+                    );
+                }
+            },
+        ))
+    }
+
+    /// The seeded `dyn`-fallback runner: ChaCha8 streams over the same
+    /// work-unit coordinates as the kernel path.
+    fn run_seeded_dyn(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        self.check_initial(&initial)?;
+        let graph = self.dyn_graph()?;
+        let sampler = NeighbourSampler::new_unchecked(graph);
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        let mut snap = PackedSnapshot::all_red(0);
+        let mut order: Vec<usize> = Vec::new();
+        Ok(drive(
+            &self.stopping,
+            self.record_trace,
+            initial,
+            |config, round| match self.schedule {
+                Schedule::Synchronous => {
+                    self.step_sync_seeded_dyn(
+                        protocol,
+                        &sampler,
+                        config,
+                        &mut scratch,
+                        master_seed,
+                        round as u64,
+                    );
+                    config.overwrite_from(&scratch);
+                }
+                Schedule::AsynchronousRandomOrder => {
+                    let mut rng =
+                        crate::parallel::chunk_rng(master_seed, round as u64, ASYNC_ROUND_CHUNK);
+                    self.step_async(
+                        Some(protocol),
+                        None,
+                        Some(&sampler),
+                        config,
+                        &mut order,
+                        &mut snap,
+                        &mut rng,
+                    );
                 }
             },
         ))
     }
 }
 
+/// Creates an engine over a borrowed materialised graph — shorthand for
+/// `Engine::new(CsrTopology::new(graph))`, the migration target for code
+/// written against the historical CSR-only `Simulator`.
+impl<'g> Engine<CsrTopology<'g>> {
+    /// See [`Engine::new`]; fails on empty graphs and isolated vertices.
+    pub fn on_graph(graph: &'g CsrGraph) -> Result<Self> {
+        Engine::new(CsrTopology::new(graph))
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.topology().graph()
+    }
+}
+
+/// Synchronous / asynchronous voting dynamics simulator over a borrowed
+/// graph — the historical CSR-only engine, now a thin façade over
+/// [`Engine`]`<CsrTopology>` kept so existing call sites (and the pinned
+/// determinism suites) keep compiling; new code should use [`Engine`]
+/// directly.  Every method forwards; no stepping logic lives here.
+pub struct Simulator<'g> {
+    engine: Engine<CsrTopology<'g>>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator with the default (synchronous, stop-at-consensus)
+    /// behaviour. Fails if the graph is empty or has an isolated vertex,
+    /// which could never perform an update.
+    pub fn new(graph: &'g CsrGraph) -> Result<Self> {
+        Ok(Simulator {
+            engine: Engine::on_graph(graph)?,
+        })
+    }
+
+    /// Sets the update schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.engine = self.engine.with_schedule(schedule);
+        self
+    }
+
+    /// Sets the stopping condition.
+    pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
+        self.engine = self.engine.with_stopping(stopping);
+        self
+    }
+
+    /// Enables or disables per-round trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.engine = self.engine.with_trace(record);
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.engine.graph()
+    }
+
+    /// The configured stopping condition.
+    pub fn stopping(&self) -> StoppingCondition {
+        self.engine.stopping()
+    }
+
+    /// One caller-RNG synchronous round — see [`Engine::step_synchronous`].
+    pub fn step_synchronous(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        rng: &mut dyn RngCore,
+    ) {
+        self.engine.step_synchronous(protocol, current, next, rng);
+    }
+
+    /// One caller-RNG asynchronous round — see [`Engine::step_asynchronous`].
+    pub fn step_asynchronous(
+        &self,
+        protocol: &dyn Protocol,
+        config: &mut Configuration,
+        rng: &mut dyn RngCore,
+    ) {
+        self.engine.step_asynchronous(protocol, config, rng);
+    }
+
+    /// One seeded synchronous round — see [`Engine::step_seeded`].
+    pub fn step_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        current: &Configuration,
+        next: &mut Vec<Opinion>,
+        master_seed: u64,
+        round: u64,
+    ) {
+        self.engine
+            .step_seeded(protocol, current, next, master_seed, round);
+    }
+
+    /// Seeded run — see [`Engine::run_seeded`].
+    pub fn run_seeded(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        master_seed: u64,
+    ) -> Result<RunResult> {
+        self.engine.run_seeded(protocol, initial, master_seed)
+    }
+
+    /// Caller-RNG run — see [`Engine::run`].
+    pub fn run(
+        &self,
+        protocol: &dyn Protocol,
+        initial: Configuration,
+        rng: &mut dyn RngCore,
+    ) -> Result<RunResult> {
+        self.engine.run(protocol, initial, rng)
+    }
+}
+
 /// The shared run driver: applies `round_fn` until `stopping` fires,
 /// recording the trace and assembling the [`RunResult`].
 ///
-/// Every runner — [`Simulator::run`], [`Simulator::run_seeded`] and
-/// [`crate::parallel::ParallelSimulator::run`] — goes through this single
-/// loop, so stopping, trace and bookkeeping semantics cannot drift between
-/// the sequential and parallel paths (the bit-identical determinism
-/// contract depends on that).
+/// Every runner goes through this single loop, so stopping, trace and
+/// bookkeeping semantics cannot drift between schedules or execution modes
+/// (the bit-identical determinism contract depends on that).
 pub(crate) fn drive(
     stopping: &StoppingCondition,
     record_trace: bool,
@@ -433,7 +855,7 @@ mod tests {
     use super::*;
     use crate::init::InitialCondition;
     use crate::protocol::{BestOfThree, LocalMajority, Voter};
-    use bo3_graph::generators;
+    use bo3_graph::{generators, Complete, ImplicitGnp};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -615,14 +1037,120 @@ mod tests {
     }
 
     #[test]
-    fn run_seeded_requires_the_synchronous_schedule() {
-        let g = generators::complete(20);
+    fn run_seeded_supports_the_asynchronous_schedule() {
+        // Historically `run_seeded` rejected the asynchronous schedule; the
+        // unified engine runs it, reproducibly, on materialised graphs...
+        let g = generators::complete(300);
         let sim = Simulator::new(&g)
             .unwrap()
-            .with_schedule(Schedule::AsynchronousRandomOrder);
-        let init = Configuration::all_red(20);
+            .with_schedule(Schedule::AsynchronousRandomOrder)
+            .with_trace(true);
+        let mut rng = StdRng::seed_from_u64(10);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.15 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let a = sim
+            .run_seeded(&BestOfThree::new(), init.clone(), 5)
+            .unwrap();
+        let b = sim.run_seeded(&BestOfThree::new(), init, 5).unwrap();
+        assert_eq!(a, b);
+        assert!(a.red_won());
+    }
+
+    #[test]
+    fn seeded_async_runs_on_implicit_topologies() {
+        // ...and on adjacency-free topologies, where the old engines could
+        // not express it at all.
+        let n = 2_000;
+        let mut rng = StdRng::seed_from_u64(11);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.15 }
+            .sample_n(n, &mut rng)
+            .unwrap();
+        let engine = Engine::new(ImplicitGnp::new(n, 0.3, 3).unwrap())
+            .unwrap()
+            .with_schedule(Schedule::AsynchronousRandomOrder)
+            .with_trace(true);
+        let a = engine
+            .run_seeded_kind(ProtocolKind::BestOfThree, init.clone(), 21)
+            .unwrap();
+        let b = engine
+            .run_seeded_kind(ProtocolKind::BestOfThree, init.clone(), 21)
+            .unwrap();
+        assert_eq!(a, b, "seeded async must be reproducible");
+        assert!(a.red_won());
+        // The thread knob cannot change an asynchronous result (the round
+        // is sequential by definition).
+        let threaded = Engine::new(ImplicitGnp::new(n, 0.3, 3).unwrap())
+            .unwrap()
+            .with_schedule(Schedule::AsynchronousRandomOrder)
+            .with_threads(8)
+            .with_trace(true)
+            .run_seeded_kind(ProtocolKind::BestOfThree, init, 21)
+            .unwrap();
+        assert_eq!(a, threaded);
+    }
+
+    #[test]
+    fn async_kernel_path_matches_the_dyn_path_draw_for_draw() {
+        // The async round routes built-in protocols through the live-state
+        // kernel update; forced onto the dyn path (DynOnly) with the same
+        // caller RNG it must produce bit-identical rounds.
+        use crate::kernel::DynOnly;
+        use crate::protocol::{BestOfK, BestOfTwo, TieRule};
+        let g = generators::complete_bipartite(150, 170).unwrap();
+        let sim = Simulator::new(&g)
+            .unwrap()
+            .with_schedule(Schedule::AsynchronousRandomOrder)
+            .with_stopping(StoppingCondition::fixed_rounds(6))
+            .with_trace(true);
+        let mut rng = StdRng::seed_from_u64(12);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.05 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let pairs: Vec<(Box<dyn Protocol>, Box<dyn Protocol>)> = vec![
+            (Box::new(Voter::new()), Box::new(DynOnly(Voter::new()))),
+            (
+                Box::new(BestOfTwo::new(TieRule::Random)),
+                Box::new(DynOnly(BestOfTwo::new(TieRule::Random))),
+            ),
+            (
+                Box::new(BestOfThree::new()),
+                Box::new(DynOnly(BestOfThree::new())),
+            ),
+            (
+                Box::new(BestOfK::new(4, TieRule::Random)),
+                Box::new(DynOnly(BestOfK::new(4, TieRule::Random))),
+            ),
+            (
+                Box::new(LocalMajority::new(TieRule::Random)),
+                Box::new(DynOnly(LocalMajority::new(TieRule::Random))),
+            ),
+        ];
+        for (kernel_side, dyn_side) in &pairs {
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let a = sim
+                .run(kernel_side.as_ref(), init.clone(), &mut rng_a)
+                .unwrap();
+            let b = sim
+                .run(dyn_side.as_ref(), init.clone(), &mut rng_b)
+                .unwrap();
+            assert_eq!(a, b, "{} diverged", kernel_side.name());
+        }
+    }
+
+    #[test]
+    fn custom_protocols_on_implicit_topologies_are_a_typed_error() {
+        use crate::kernel::DynOnly;
+        let engine = Engine::new(Complete::new(50).unwrap()).unwrap();
+        let init = Configuration::all_red(50);
+        let mut rng = StdRng::seed_from_u64(13);
         assert!(matches!(
-            sim.run_seeded(&BestOfThree::new(), init, 0),
+            engine.run(&DynOnly(BestOfThree::new()), init.clone(), &mut rng),
+            Err(DynamicsError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            engine.run_seeded(&DynOnly(BestOfThree::new()), init, 0),
             Err(DynamicsError::InvalidParameter { .. })
         ));
     }
@@ -659,5 +1187,25 @@ mod tests {
         assert_eq!(a, b);
         let c = run(43);
         assert!(a.rounds != c.rounds || a.trace != c.trace);
+    }
+
+    #[test]
+    fn engine_on_graph_equals_simulator() {
+        let g = generators::complete(200);
+        let mut rng = StdRng::seed_from_u64(14);
+        let init = InitialCondition::BernoulliWithBias { delta: 0.1 }
+            .sample(&g, &mut rng)
+            .unwrap();
+        let engine = Engine::on_graph(&g).unwrap().with_trace(true);
+        assert_eq!(engine.graph(), &g);
+        let via_engine = engine
+            .run_seeded(&BestOfThree::new(), init.clone(), 9)
+            .unwrap();
+        let via_simulator = Simulator::new(&g)
+            .unwrap()
+            .with_trace(true)
+            .run_seeded(&BestOfThree::new(), init, 9)
+            .unwrap();
+        assert_eq!(via_engine, via_simulator);
     }
 }

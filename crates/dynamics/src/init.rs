@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::CsrGraph;
+use bo3_graph::{CsrGraph, Topology};
 
 use crate::error::{DynamicsError, Result};
 use crate::opinion::{Configuration, Opinion};
@@ -72,6 +72,39 @@ impl InitialCondition {
         }
     }
 
+    /// Instantiates the initial configuration on any [`Topology`] — the
+    /// entry point the unified engine's Monte-Carlo driver uses for every
+    /// spec variant.
+    ///
+    /// Graph-free schemes delegate to [`InitialCondition::sample_n`]
+    /// (consuming `rng` identically, so seeded runs agree across entry
+    /// points).  The degree-ranked placements consume no randomness and
+    /// resolve through, in order:
+    ///
+    /// * the materialised degree sequence, when
+    ///   [`Topology::as_graph`] yields one — exactly
+    ///   [`InitialCondition::sample`];
+    /// * the topology's [`Topology::degree_oracle`] otherwise — exact
+    ///   `O(#classes)` rank arithmetic for the closed-form families, and the
+    ///   concentration-window answer for hash-defined ones: all degrees
+    ///   share one window except with the oracle's stated failure
+    ///   probability, so the canonical end-of-id-space choices (prefix for
+    ///   highest, suffix for lowest) are as adversarial as any certifiable
+    ///   ranking — but they are *not* the realised degree ranks; comparing
+    ///   against those requires materialising the spec.  **No `Θ(n)` degree
+    ///   scan happens on any path.**
+    pub fn sample_topology<T: Topology, R: Rng + ?Sized>(
+        &self,
+        topo: &T,
+        rng: &mut R,
+    ) -> Result<Configuration> {
+        match self {
+            InitialCondition::HighestDegreeBlue { blue } => by_degree_topology(topo, *blue, true),
+            InitialCondition::LowestDegreeBlue { blue } => by_degree_topology(topo, *blue, false),
+            other => other.sample_n(topo.n(), rng),
+        }
+    }
+
     /// Instantiates the initial configuration on `n` vertices without a
     /// materialised graph — the entry point for implicit-topology runs,
     /// where `n` may be far past any allocatable adjacency.
@@ -126,8 +159,9 @@ impl InitialCondition {
             InitialCondition::HighestDegreeBlue { .. }
             | InitialCondition::LowestDegreeBlue { .. } => Err(DynamicsError::InvalidParameter {
                 reason: format!(
-                    "{} ranks vertices by degree and needs a materialised graph; \
-                         use InitialCondition::sample",
+                    "{} ranks vertices by degree, which a bare vertex count cannot \
+                         provide; use InitialCondition::sample (materialised graph) or \
+                         InitialCondition::sample_topology (degree oracle)",
                     self.label()
                 ),
             }),
@@ -188,6 +222,36 @@ fn bernoulli<R: Rng + ?Sized>(n: usize, p_blue: f64, rng: &mut R) -> Result<Conf
         });
     }
     Ok(Configuration::new(opinions))
+}
+
+/// Degree-ranked placement on an arbitrary topology: materialised degrees
+/// when available, the degree oracle otherwise — never a degree scan.
+fn by_degree_topology<T: Topology>(topo: &T, blue: usize, highest: bool) -> Result<Configuration> {
+    if let Some(graph) = topo.as_graph() {
+        return by_degree(graph, blue, highest);
+    }
+    let n = topo.n();
+    if blue > n {
+        return Err(DynamicsError::InvalidParameter {
+            reason: format!("cannot colour {blue} of {n} vertices blue"),
+        });
+    }
+    let Some(oracle) = topo.degree_oracle() else {
+        return Err(DynamicsError::InvalidParameter {
+            reason: format!(
+                "{} provides neither materialised degrees nor a degree oracle; \
+                 cannot place degree-ranked opinions",
+                topo.label()
+            ),
+        });
+    };
+    let mut cfg = Configuration::all_red(n);
+    for range in oracle.ranked_vertices(blue, highest) {
+        for v in range {
+            cfg.set(v, Opinion::Blue);
+        }
+    }
+    Ok(cfg)
 }
 
 fn by_degree(graph: &CsrGraph, blue: usize, highest: bool) -> Result<Configuration> {
@@ -392,6 +456,81 @@ mod tests {
                 Err(DynamicsError::InvalidParameter { .. })
             ));
         }
+    }
+
+    #[test]
+    fn sample_topology_matches_sample_on_materialised_graphs() {
+        use bo3_graph::CsrTopology;
+        // Star: distinct degrees, so the degree-ranked schemes are exercised
+        // through both entry points; graph-free schemes consume the RNG
+        // identically by delegation.
+        let g = generators::star(12).unwrap();
+        let topo = CsrTopology::new(&g);
+        for cond in [
+            InitialCondition::BernoulliWithBias { delta: 0.1 },
+            InitialCondition::ExactCount { blue: 4 },
+            InitialCondition::HighestDegreeBlue { blue: 3 },
+            InitialCondition::LowestDegreeBlue { blue: 5 },
+            InitialCondition::PrefixBlue { blue: 2 },
+        ] {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            let via_graph = cond.sample(&g, &mut a).unwrap();
+            let via_topo = cond.sample_topology(&topo, &mut b).unwrap();
+            assert_eq!(via_graph, via_topo, "{}", cond.label());
+        }
+    }
+
+    #[test]
+    fn degree_ranked_on_closed_form_topologies_matches_the_materialised_truth() {
+        use bo3_graph::topology::materialize;
+        use bo3_graph::{CompleteBipartite, CompleteMultipartite};
+        let mut rng = StdRng::seed_from_u64(10);
+        let bipartite = CompleteBipartite::new(4, 9).unwrap();
+        let multi = CompleteMultipartite::new(&[3, 4, 5]).unwrap();
+        for blue in [1usize, 4, 7] {
+            for highest in [true, false] {
+                let cond = if highest {
+                    InitialCondition::HighestDegreeBlue { blue }
+                } else {
+                    InitialCondition::LowestDegreeBlue { blue }
+                };
+                // Oracle-based placement on the implicit topology must equal
+                // the stable-sort placement on its materialisation.
+                let via_oracle = cond.sample_topology(&bipartite, &mut rng).unwrap();
+                let via_graph = cond
+                    .sample(&materialize(&bipartite).unwrap(), &mut rng)
+                    .unwrap();
+                assert_eq!(via_oracle, via_graph, "bipartite {} ", cond.label());
+                let via_oracle = cond.sample_topology(&multi, &mut rng).unwrap();
+                let via_graph = cond
+                    .sample(&materialize(&multi).unwrap(), &mut rng)
+                    .unwrap();
+                assert_eq!(via_oracle, via_graph, "multipartite {}", cond.label());
+            }
+        }
+    }
+
+    #[test]
+    fn degree_ranked_on_hash_defined_topologies_uses_the_window_ends() {
+        // No Θ(n) scan: a window oracle answers with its canonical ends —
+        // highest takes the id prefix, lowest the id suffix, so the two
+        // adversarial placements stay distinct (and disjoint here).
+        let topo = bo3_graph::ImplicitSbm::new(1_000, 2, 0.6, 0.3, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let high = InitialCondition::HighestDegreeBlue { blue: 250 }
+            .sample_topology(&topo, &mut rng)
+            .unwrap();
+        assert_eq!(high.blue_count(), 250);
+        assert_eq!(high.blue_vertices(), (0..250).collect::<Vec<_>>());
+        let low = InitialCondition::LowestDegreeBlue { blue: 250 }
+            .sample_topology(&topo, &mut rng)
+            .unwrap();
+        assert_eq!(low.blue_vertices(), (750..1_000).collect::<Vec<_>>());
+        // Over-long placements still validate against n.
+        assert!(InitialCondition::LowestDegreeBlue { blue: 1_001 }
+            .sample_topology(&topo, &mut rng)
+            .is_err());
     }
 
     #[test]

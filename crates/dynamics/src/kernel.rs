@@ -530,6 +530,87 @@ fn update_chunk_local_majority<T: Topology, R: RngCore + ?Sized>(
     }
 }
 
+/// Counts blue among `k` uniform with-replacement neighbour samples of `v`,
+/// read from the (possibly live) snapshot — one `next_u64` per sample,
+/// reduced exactly like the `dyn` path's `gen_range`.
+#[inline(always)]
+fn count_sampled_blues<T: Topology, R: RngCore + ?Sized>(
+    topo: &T,
+    snap: &PackedSnapshot,
+    v: usize,
+    k: usize,
+    rng: &mut R,
+) -> usize {
+    let mut blues = 0usize;
+    for _ in 0..k {
+        blues += snap.is_blue(topo.sample_neighbour(v, rng)) as usize;
+    }
+    blues
+}
+
+/// One **asynchronous** (live-state) update of vertex `v` under `kind`.
+///
+/// This is the per-vertex core of the asynchronous schedule on any
+/// [`Topology`]: neighbour samples and the full-neighbourhood counts read
+/// `live` — the *current*, partially updated round state — instead of a
+/// frozen snapshot.  `live_blues` is the caller-maintained blue count of
+/// `live`, which turns the complete-topology local majority into one
+/// subtraction instead of a `Θ(n)` row walk (counts equal the walk's, so tie
+/// coins land identically).
+///
+/// RNG consumption matches `Protocol::update` draw-for-draw — one `u64` per
+/// neighbour sample, one `u32` per reachable tie coin, in the same order —
+/// so an asynchronous round through this kernel is bit-identical to the
+/// `dyn` loop on a materialised graph (the engine's async equivalence test
+/// pins this).
+pub(crate) fn update_vertex_live<T: Topology, R: RngCore + ?Sized>(
+    kind: ProtocolKind,
+    topo: &T,
+    live: &PackedSnapshot,
+    live_blues: usize,
+    v: usize,
+    rng: &mut R,
+) -> Opinion {
+    match kind {
+        ProtocolKind::Voter => {
+            if count_sampled_blues(topo, live, v, 1, rng) == 1 {
+                Opinion::Blue
+            } else {
+                Opinion::Red
+            }
+        }
+        ProtocolKind::BestOfThree => {
+            if count_sampled_blues(topo, live, v, 3, rng) >= 2 {
+                Opinion::Blue
+            } else {
+                Opinion::Red
+            }
+        }
+        ProtocolKind::BestOfTwo(tie_rule) => {
+            let blues = count_sampled_blues(topo, live, v, 2, rng);
+            resolve_majority(blues, 2, live.get(v), tie_rule, rng)
+        }
+        ProtocolKind::BestOfK { k, tie_rule } => {
+            let blues = count_sampled_blues(topo, live, v, k, rng);
+            resolve_majority(blues, k, live.get(v), tie_rule, rng)
+        }
+        ProtocolKind::LocalMajority(tie_rule) => {
+            if topo.is_all_but_self() {
+                let blues = live_blues - live.is_blue(v) as usize;
+                resolve_majority(blues, live.len() - 1, live.get(v), tie_rule, rng)
+            } else {
+                let mut blues = 0usize;
+                let mut deg = 0usize;
+                topo.for_each_neighbour(v, |w| {
+                    blues += live.is_blue(w) as usize;
+                    deg += 1;
+                });
+                resolve_majority(blues, deg, live.get(v), tie_rule, rng)
+            }
+        }
+    }
+}
+
 /// Vertices per software-pipelined block of [`update_chunk_batched`].
 ///
 /// Large enough that a block's neighbour-row gathers (`BATCH · k`

@@ -11,14 +11,17 @@
 //!   paper positions itself against: the voter model, Best-of-2, Best-of-k
 //!   and deterministic local majority;
 //! * [`init`] — initial conditions, from the paper's i.i.d.
-//!   `Bernoulli(1/2 − δ)` start to adversarial placements;
-//! * [`engine`] / [`parallel`] — single-threaded and deterministic
-//!   multi-threaded steppers over materialised graphs;
-//! * [`topology_sim`] — the topology-generic engine: seeded synchronous
-//!   runs over any [`bo3_graph::Topology`], including the implicit
-//!   (adjacency-free) families that make `n = 10⁶` routine;
+//!   `Bernoulli(1/2 − δ)` start to adversarial placements (degree-ranked
+//!   ones run on implicit topologies through the graph layer's degree
+//!   oracle);
+//! * [`engine`] — **the** engine: [`engine::Engine`] is generic over
+//!   [`bo3_graph::Topology`] and owns every stepping implementation, one
+//!   per [`schedule::Schedule`] (synchronous and asynchronous), seeded or
+//!   caller-RNG, sequential or multi-threaded.  `Simulator`,
+//!   `ParallelSimulator` ([`parallel`]) and `TopologySimulator`
+//!   ([`topology_sim`]) are thin façades over it;
 //! * [`kernel`] — monomorphized hot-path kernels (bit-packed snapshots,
-//!   batched RNG, static dispatch), generic over the topology, that every
+//!   batched RNG, static dispatch), generic over the topology, that the
 //!   engine routes built-in protocols through;
 //! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
 //!   statistics the experiments report;
@@ -62,7 +65,7 @@ pub mod trace;
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
     pub use crate::config::ProtocolSpec;
-    pub use crate::engine::{RunResult, Simulator};
+    pub use crate::engine::{Engine, RunResult, Simulator, ASYNC_ROUND_CHUNK};
     pub use crate::error::{DynamicsError, Result};
     pub use crate::init::InitialCondition;
     pub use crate::kernel::{kernel_chunk_rng, DynOnly, KernelRng, PackedSnapshot, ProtocolKind};

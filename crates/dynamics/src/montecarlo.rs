@@ -2,24 +2,39 @@
 //!
 //! Theorem 1 is a with-high-probability statement, so every experiment
 //! estimates probabilities and expectations over repeated runs.  The driver
-//! executes replicas across threads (each replica is single-threaded; the
-//! parallelism is across replicas, which is the efficient direction for the
-//! `n ≤ 10⁶` graphs used here) with deterministic per-replica seeding.
+//! executes replicas across threads with deterministic per-replica seeding;
+//! every replica runs on the one topology-generic
+//! [`crate::engine::Engine`], whatever the topology and whichever
+//! [`Schedule`] — the asynchronous ablation included, on implicit
+//! topologies included.
 //!
 //! Every replica is described by a [`ProtocolSpec`], which always names a
-//! built-in protocol ([`ProtocolSpec::kind`] is total), so
-//! synchronous-schedule replicas execute on the monomorphized kernel path
-//! of [`crate::kernel`] rather than the `dyn`-dispatch fallback.  (The
-//! asynchronous-schedule ablation reads the live configuration and has no
-//! kernel counterpart; it stays on the per-vertex `dyn` path.)
+//! built-in protocol ([`ProtocolSpec::kind`] is total), so replicas execute
+//! on the monomorphized kernel paths of [`crate::kernel`] rather than the
+//! `dyn`-dispatch fallback.
+//!
+//! # Replica RNG plumbing (the compatibility seam)
+//!
+//! Two flavours, chosen by whether the topology is graph-backed
+//! ([`Topology::as_graph`]):
+//!
+//! * **graph-backed** — the replica's `StdRng` stream drives the whole run
+//!   (initial condition, then every round), exactly the pre-unification
+//!   materialised pipeline, so seeded reports over materialised specs are
+//!   bit-identical across the engine merge (pinned by the Scenario API
+//!   suite);
+//! * **adjacency-free** — the replica stream samples the initial condition
+//!   and then hands the run one derived `master_seed`, so rounds use the
+//!   chunk-seeded engine streams and stay bit-identical at any thread
+//!   count.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::{CsrGraph, Topology};
+use bo3_graph::{CsrGraph, CsrTopology, Topology};
 
 use crate::config::ProtocolSpec;
-use crate::engine::Simulator;
+use crate::engine::Engine;
 use crate::error::Result;
 use crate::init::InitialCondition;
 use crate::opinion::Opinion;
@@ -27,7 +42,6 @@ use crate::parallel::replica_rng;
 use crate::schedule::Schedule;
 use crate::stats::{ProportionEstimate, Summary};
 use crate::stopping::StoppingCondition;
-use crate::topology_sim::TopologySimulator;
 
 /// Outcome of one Monte-Carlo replica.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -123,32 +137,30 @@ impl MonteCarlo {
         }
     }
 
-    /// Runs every replica and aggregates the results.
+    /// Runs every replica and aggregates the results — sugar for
+    /// [`MonteCarlo::run_on_topology`] over the graph's [`CsrTopology`]
+    /// adapter.
     pub fn run(&self, graph: &CsrGraph) -> Result<MonteCarloReport> {
-        let workers = self.resolved_threads().min(self.replicas.max(1));
-        self.run_replicas(workers, &|replica| self.run_one(graph, replica))
+        self.run_on_topology(&CsrTopology::new(graph))
     }
 
-    /// Runs every replica on an implicit (or adapted) [`Topology`] and
-    /// aggregates the results — the scale path: replicas execute on the
-    /// topology-generic kernel engine and nothing `Θ(n²)` is ever touched.
-    ///
-    /// Restricted like [`crate::topology_sim::TopologySimulator`]: the
-    /// schedule must be synchronous (the asynchronous ablation reads live
-    /// rows through the materialised-graph path) and the initial condition
-    /// graph-free (see [`InitialCondition::sample_n`]).
+    /// Runs every replica on any [`Topology`] — the one Monte-Carlo path:
+    /// materialised graphs (via [`CsrTopology`] or a built spec) and the
+    /// adjacency-free implicit families, either [`Schedule`], every
+    /// [`InitialCondition`] (degree-ranked placements resolve through the
+    /// topology's degree oracle where no graph exists).
     pub fn run_on_topology<T: Topology>(&self, topo: &T) -> Result<MonteCarloReport> {
-        if self.schedule != Schedule::Synchronous {
-            return Err(crate::error::DynamicsError::InvalidParameter {
-                reason: "topology Monte-Carlo requires the synchronous schedule".into(),
-            });
-        }
         // Split the worker budget between replica-level parallelism and
         // per-replica round parallelism: with many replicas the efficient
         // direction is across replicas (each replica single-threaded); with
         // few replicas on a huge topology the leftover workers parallelise
-        // the round chunks instead.  The topology engine is bit-identical at
-        // any thread count, so this split never changes the report.
+        // the round chunks instead.  The engine is bit-identical at any
+        // thread count, so this split never changes the report.  Caveats on
+        // the intra-replica share: graph-backed replicas ignore it (the
+        // caller-RNG compatibility flavour is sequential by construction —
+        // one RNG stream drives the whole run), and asynchronous rounds are
+        // sequential by definition; only seeded synchronous rounds on
+        // adjacency-free topologies actually fan out.
         let threads = self.resolved_threads();
         let outer = threads.min(self.replicas.max(1));
         let intra = (threads / outer).max(1);
@@ -212,8 +224,8 @@ impl MonteCarlo {
     }
 
     /// Runs a single replica on a topology (deterministic in
-    /// `(master_seed, replica)` — and, because the topology engine is
-    /// chunk-seeded, independent of every thread count involved).
+    /// `(master_seed, replica)` — and independent of every thread count
+    /// involved).
     pub fn run_one_on_topology<T: Topology>(
         &self,
         topo: &T,
@@ -224,27 +236,36 @@ impl MonteCarlo {
 
     /// [`MonteCarlo::run_one_on_topology`] with an explicit per-replica
     /// worker count for the round chunks (the outcome does not depend on it;
-    /// only the wall clock does).
+    /// only the wall clock does).  The two RNG flavours are documented in
+    /// the module docs.
     fn replica_on_topology<T: Topology>(
         &self,
         topo: &T,
         replica: usize,
         threads: usize,
     ) -> Result<ReplicaOutcome> {
-        if self.schedule != Schedule::Synchronous {
-            return Err(crate::error::DynamicsError::InvalidParameter {
-                reason: "topology Monte-Carlo requires the synchronous schedule".into(),
-            });
-        }
         let mut rng = replica_rng(self.master_seed, replica as u64);
-        let initial = self.initial.sample_n(topo.n(), &mut rng)?;
-        // The replica stream hands the run its own master seed, mirroring
-        // how the graph path keeps consuming the replica RNG inside `run`.
-        let run_seed = rng.next_u64();
-        let simulator = TopologySimulator::new(topo)?
-            .with_stopping(self.stopping)
-            .with_threads(threads);
-        let result = simulator.run(self.protocol.kind(), initial, run_seed)?;
+        let initial = self.initial.sample_topology(topo, &mut rng)?;
+        let result = if topo.as_graph().is_some() {
+            // Graph-backed: the replica stream drives the whole run — the
+            // pre-unification materialised pipeline, bit for bit.  Built
+            // from a spec, the boxed protocol reports its `ProtocolKind`,
+            // so every round still takes the kernel path.
+            let protocol = self.protocol.build();
+            Engine::new(topo)?
+                .with_schedule(self.schedule)
+                .with_stopping(self.stopping)
+                .run(protocol.as_ref(), initial, &mut rng)?
+        } else {
+            // Adjacency-free: hand the run a derived master seed so rounds
+            // use the chunk-seeded engine streams.
+            let run_seed = rng.next_u64();
+            Engine::new(topo)?
+                .with_schedule(self.schedule)
+                .with_stopping(self.stopping)
+                .with_threads(threads)
+                .run_seeded_kind(self.protocol.kind(), initial, run_seed)?
+        };
         Ok(ReplicaOutcome {
             replica,
             winner: result.winner,
@@ -256,22 +277,7 @@ impl MonteCarlo {
 
     /// Runs a single replica (deterministic in `(master_seed, replica)`).
     pub fn run_one(&self, graph: &CsrGraph, replica: usize) -> Result<ReplicaOutcome> {
-        let mut rng = replica_rng(self.master_seed, replica as u64);
-        // Built from a spec, the boxed protocol reports its `ProtocolKind`,
-        // so the simulator routes every round through the kernel path.
-        let protocol = self.protocol.build();
-        let simulator = Simulator::new(graph)?
-            .with_schedule(self.schedule)
-            .with_stopping(self.stopping);
-        let initial = self.initial.sample(graph, &mut rng)?;
-        let result = simulator.run(protocol.as_ref(), initial, &mut rng)?;
-        Ok(ReplicaOutcome {
-            replica,
-            winner: result.winner,
-            rounds: result.rounds,
-            initial_blue_fraction: result.initial_blue_fraction,
-            final_blue_fraction: result.final_blue_fraction,
-        })
+        self.replica_on_topology(&CsrTopology::new(graph), replica, 1)
     }
 }
 
@@ -380,13 +386,41 @@ mod tests {
     }
 
     #[test]
-    fn topology_monte_carlo_rejects_the_asynchronous_schedule() {
-        let topo = bo3_graph::Complete::new(50).unwrap();
-        let mut mc = MonteCarlo::best_of_three(0.1, 2, 0);
+    fn topology_monte_carlo_runs_the_asynchronous_schedule() {
+        // The schedule fork that used to reject this lives nowhere any more:
+        // the asynchronous ablation runs adjacency-free, reproducibly.
+        let topo = bo3_graph::ImplicitGnp::new(1_000, 0.4, 17).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.15, 4, 3);
         mc.schedule = Schedule::AsynchronousRandomOrder;
-        assert!(mc.run_on_topology(&topo).is_err());
-        // The single-replica entry point honours the same restriction.
-        assert!(mc.run_one_on_topology(&topo, 0).is_err());
+        let a = mc.run_on_topology(&topo).unwrap();
+        let b = mc.run_on_topology(&topo).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert!((a.consensus_rate - 1.0).abs() < 1e-12);
+        let red = a.red_win.unwrap();
+        assert_eq!(red.successes, red.trials, "red should win every replica");
+        // The single-replica entry point agrees with the batch.
+        assert_eq!(mc.run_one_on_topology(&topo, 0).unwrap(), a.outcomes[0]);
+    }
+
+    #[test]
+    fn degree_ranked_initials_run_on_implicit_topologies() {
+        // Pre-oracle this was a typed error; now it places through the
+        // degree oracle with no Θ(n) scan and runs end to end.
+        let topo = bo3_graph::ImplicitSbm::new(2_000, 2, 0.5, 0.4, 5).unwrap();
+        let mc = MonteCarlo {
+            protocol: ProtocolSpec::BestOfThree,
+            initial: InitialCondition::HighestDegreeBlue { blue: 600 },
+            schedule: Schedule::Synchronous,
+            stopping: StoppingCondition::consensus_within(10_000),
+            replicas: 3,
+            master_seed: 9,
+            threads: 1,
+        };
+        let report = mc.run_on_topology(&topo).unwrap();
+        assert!((report.consensus_rate - 1.0).abs() < 1e-12);
+        for o in &report.outcomes {
+            assert!((o.initial_blue_fraction - 0.3).abs() < 1e-12);
+        }
     }
 
     #[test]

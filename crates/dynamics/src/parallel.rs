@@ -1,25 +1,24 @@
-//! Multi-threaded synchronous stepper.
+//! Multi-threaded stepping support: the chunk scheduler, the work-unit RNG
+//! derivations, and the [`ParallelSimulator`] façade.
 //!
 //! The synchronous round is embarrassingly parallel: every vertex's new
-//! opinion depends only on the previous round's snapshot.  The stepper
+//! opinion depends only on the previous round's snapshot.  The (crate
+//! internal) `run_chunks` scheduler
 //! partitions the vertex range into fixed-size chunks and processes chunks
 //! across a scoped thread pool (crossbeam), writing each chunk's results into
 //! its disjoint slice of the output buffer — no locks, no atomics on the hot
 //! path.
 //!
 //! **Determinism.** Every chunk derives its own RNG from
-//! `(master_seed, round, chunk_index)` via ChaCha8, so results are bit-for-bit
-//! identical regardless of how many worker threads run the chunks.  This is
-//! the property the engine ablation (sequential vs. parallel stepper) checks.
+//! `(master_seed, round, chunk_index)`, so results are bit-for-bit identical
+//! regardless of how many worker threads run the chunks.  This is the
+//! property the engine ablation (sequential vs. parallel stepping) checks.
 //!
-//! Built-in protocols run each chunk through the monomorphized
-//! topology-generic kernels of [`crate::kernel`] over a shared bit-packed
-//! snapshot (complete graphs as the implicit `Complete` topology, other
-//! graphs as `CsrTopology`); custom protocols use the generic
-//! `update_chunk` fallback.  Both consume the chunk RNG identically, so
-//! the determinism contract holds across paths.  The chunk scheduler
-//! (`run_chunks`) is shared with the adjacency-free
-//! [`crate::topology_sim::TopologySimulator`].
+//! The stepping logic itself lives in the unified
+//! [`crate::engine::Engine`]; [`ParallelSimulator`] survives as a thin
+//! construction façade over `Engine<CsrTopology>` with a thread count, kept
+//! so existing call sites (and the pinned determinism suites) keep
+//! compiling.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -27,9 +26,8 @@ use rand_chacha::ChaCha8Rng;
 
 use bo3_graph::{CsrGraph, NeighbourSampler};
 
-use crate::engine::RunResult;
-use crate::error::{DynamicsError, Result};
-use crate::kernel::{self, PackedSnapshot};
+use crate::engine::{Engine, RunResult};
+use crate::error::Result;
 use crate::opinion::{Configuration, Opinion};
 use crate::protocol::{Protocol, UpdateContext};
 use crate::stopping::StoppingCondition;
@@ -39,56 +37,36 @@ use crate::stopping::StoppingCondition;
 /// the thread count.
 pub const CHUNK_SIZE: usize = 4096;
 
-/// A multi-threaded synchronous simulator.
+/// A multi-threaded synchronous simulator — a façade over
+/// [`Engine`]`<CsrTopology>` (see the module docs).
 pub struct ParallelSimulator<'g> {
-    graph: &'g CsrGraph,
-    sampler: NeighbourSampler<'g>,
-    stopping: StoppingCondition,
-    threads: usize,
-    record_trace: bool,
+    engine: Engine<bo3_graph::CsrTopology<'g>>,
 }
 
 impl<'g> ParallelSimulator<'g> {
     /// Creates a parallel simulator using `threads` worker threads
     /// (`0` means "number of available CPUs").
     pub fn new(graph: &'g CsrGraph, threads: usize) -> Result<Self> {
-        if graph.num_vertices() == 0 {
-            return Err(DynamicsError::InvalidGraph {
-                reason: "cannot run dynamics on the empty graph".into(),
-            });
-        }
-        let sampler = NeighbourSampler::new(graph)?;
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
         Ok(ParallelSimulator {
-            graph,
-            sampler,
-            stopping: StoppingCondition::default(),
-            threads,
-            record_trace: false,
+            engine: Engine::on_graph(graph)?.with_threads(threads),
         })
     }
 
     /// Sets the stopping condition.
     pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
-        self.stopping = stopping;
+        self.engine = self.engine.with_stopping(stopping);
         self
     }
 
     /// Enables per-round trace recording.
     pub fn with_trace(mut self, record: bool) -> Self {
-        self.record_trace = record;
+        self.engine = self.engine.with_trace(record);
         self
     }
 
     /// Number of worker threads in use.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.engine.threads()
     }
 
     /// One deterministic parallel synchronous round.
@@ -102,91 +80,20 @@ impl<'g> ParallelSimulator<'g> {
         master_seed: u64,
         round: u64,
     ) {
-        let mut snap = PackedSnapshot::all_red(0);
-        self.step_into(protocol, current, next, master_seed, round, &mut snap);
-    }
-
-    /// [`ParallelSimulator::step`] with a caller-owned snapshot buffer, so
-    /// repeated rounds (as in [`ParallelSimulator::run`]) repack in place
-    /// instead of allocating.
-    fn step_into(
-        &self,
-        protocol: &(dyn Protocol + Sync),
-        current: &Configuration,
-        next: &mut Vec<Opinion>,
-        master_seed: u64,
-        round: u64,
-        snap: &mut PackedSnapshot,
-    ) {
-        let n = self.graph.num_vertices();
-        let prev = current.as_slice();
-        next.clear();
-        next.resize(n, Opinion::Red);
-
-        match protocol.kind() {
-            Some(kind) => {
-                // Kernel path: workers share the read-only packed snapshot
-                // and run the monomorphized chunk kernel.
-                snap.repack_from(prev);
-                let snap_ref = &*snap;
-                let graph = self.graph;
-                self.run_chunks(next, &|chunk, start, out| {
-                    let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
-                    kernel::dispatch_chunk(kind, graph, snap_ref, start, out, &mut rng);
-                });
-            }
-            None => {
-                // Generic fallback for custom protocols.
-                let sampler_ref = &self.sampler;
-                self.run_chunks(next, &|chunk, start, out| {
-                    let mut rng = chunk_rng(master_seed, round, chunk);
-                    update_chunk(protocol, sampler_ref, prev, start, out, &mut rng);
-                });
-            }
-        }
-    }
-
-    /// Runs `op` once per [`CHUNK_SIZE`] chunk of `next` across the worker
-    /// pool — see [`run_chunks`].
-    fn run_chunks(&self, next: &mut [Opinion], op: &(dyn Fn(u64, usize, &mut [Opinion]) + Sync)) {
-        run_chunks(self.threads, next, op);
+        self.engine
+            .step_seeded(protocol, current, next, master_seed, round);
     }
 
     /// Runs the dynamics from `initial` until the stopping condition fires,
-    /// using `master_seed` to derive all randomness.
+    /// using `master_seed` to derive all randomness — see
+    /// [`Engine::run_seeded`].
     pub fn run(
         &self,
         protocol: &(dyn Protocol + Sync),
         initial: Configuration,
         master_seed: u64,
     ) -> Result<RunResult> {
-        if initial.len() != self.graph.num_vertices() {
-            return Err(DynamicsError::OpinionLengthMismatch {
-                got: initial.len(),
-                expected: self.graph.num_vertices(),
-            });
-        }
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
-        // Repacked in place each round; the only remaining kernel-path
-        // allocation is the batched kernel's small per-chunk pick buffer
-        // (amortised over 4096 vertices).
-        let mut snap = PackedSnapshot::all_red(0);
-        Ok(crate::engine::drive(
-            &self.stopping,
-            self.record_trace,
-            initial,
-            |config, round| {
-                self.step_into(
-                    protocol,
-                    config,
-                    &mut scratch,
-                    master_seed,
-                    round as u64,
-                    &mut snap,
-                );
-                config.overwrite_from(&scratch);
-            },
-        ))
+        self.engine.run_seeded(protocol, initial, master_seed)
     }
 }
 
@@ -203,6 +110,13 @@ pub(crate) fn run_chunks(
     op: &(dyn Fn(u64, usize, &mut [Opinion]) + Sync),
 ) {
     let workers = threads.max(1);
+    if workers == 1 || next.len() <= CHUNK_SIZE {
+        // Sequential fast path: same chunk → RNG mapping, no thread spawn.
+        for (chunk, slice) in next.chunks_mut(CHUNK_SIZE).enumerate() {
+            op(chunk as u64, chunk * CHUNK_SIZE, slice);
+        }
+        return;
+    }
     let mut per_thread: Vec<Vec<(usize, &mut [Opinion])>> =
         (0..workers).map(|_| Vec::new()).collect();
     for (chunk, slice) in next.chunks_mut(CHUNK_SIZE).enumerate() {

@@ -1,112 +1,79 @@
-//! The topology-generic simulation engine.
+//! `TopologySimulator` — the historical name of the topology-generic
+//! seeded engine, now a thin façade over the unified
+//! [`crate::engine::Engine`].
 //!
-//! [`TopologySimulator`] runs the built-in protocols on anything
-//! implementing [`bo3_graph::Topology`] — materialised CSR graphs through
-//! the [`bo3_graph::CsrTopology`] adapter, or the *implicit* topologies
-//! (`Complete`, `ImplicitGnp`, `ImplicitSbm`, …) that never allocate
-//! adjacency, which is what lets a single machine run Best-of-Three to
-//! consensus on `n = 10⁶` and beyond: the whole working set is the two
-//! opinion buffers plus one bit-packed snapshot, all `O(n)`.
-//!
-//! Compared to [`crate::engine::Simulator`] this engine is narrower on
-//! purpose: it takes a [`ProtocolKind`] (custom `dyn Protocol` registry
-//! entries read neighbour rows through `UpdateContext`, which only a
-//! materialised graph can provide) and it is always seeded and synchronous.
-//! In exchange it is fully generic: the monomorphized kernels of
-//! [`crate::kernel`] inline the topology's neighbour sampling into the
-//! per-vertex loop, so an implicit complete graph pays two arithmetic ops
-//! per sample where a CSR graph pays a DRAM gather.
+//! PR-era history: this module introduced seeded synchronous dynamics over
+//! any [`bo3_graph::Topology`]; the unified engine has since absorbed that
+//! stepping (plus the asynchronous schedule and the caller-RNG entry
+//! points), and this type survives as construction sugar so existing call
+//! sites — including the kernel-equivalence suite, which pins
+//! `TopologySimulator` over `CsrTopology` bit-identical to the seeded CSR
+//! path — keep compiling.  New code should use [`Engine`] directly.
 //!
 //! # Determinism
 //!
-//! Rounds derive one RNG per `(master_seed, round, chunk)` work unit via
-//! [`crate::kernel::kernel_chunk_rng`] and schedule chunks with the same
-//! round-robin used by [`crate::parallel::ParallelSimulator`], so a run is
-//! **bit-for-bit identical at any thread count**, and a run on
-//! [`bo3_graph::CsrTopology`] is bit-identical to
-//! `Simulator::run_seeded` / `ParallelSimulator::run` on the underlying
-//! graph (the kernel-equivalence suite pins both properties).
+//! Unchanged from the original contract, now provided by [`Engine`]:
+//! rounds derive one RNG per `(master_seed, round, chunk)` work unit via
+//! [`crate::kernel::kernel_chunk_rng`], so a run is **bit-for-bit identical
+//! at any thread count**, and a run on [`bo3_graph::CsrTopology`] is
+//! bit-identical to `Simulator::run_seeded` / `ParallelSimulator::run` on
+//! the underlying graph.
 
 use bo3_graph::Topology;
 
-use crate::engine::{drive, RunResult};
-use crate::error::{DynamicsError, Result};
-use crate::kernel::{self, PackedSnapshot, ProtocolKind};
+use crate::engine::{Engine, RunResult};
+use crate::error::Result;
+use crate::kernel::ProtocolKind;
 use crate::opinion::{Configuration, Opinion};
 use crate::stopping::StoppingCondition;
 
-/// Seeded synchronous simulator over any [`Topology`], sequential or
-/// multi-threaded.
+/// Seeded synchronous simulator over any [`Topology`] — a façade over
+/// [`Engine`] (see the module docs).
 pub struct TopologySimulator<T: Topology> {
-    topo: T,
-    stopping: StoppingCondition,
-    threads: usize,
-    record_trace: bool,
+    engine: Engine<T>,
 }
 
 impl<T: Topology> TopologySimulator<T> {
     /// Creates a simulator over `topo` (owned or borrowed — `&T` is itself a
     /// topology) with the default stop-at-consensus behaviour, running
     /// single-threaded until [`TopologySimulator::with_threads`] says
-    /// otherwise.
-    ///
-    /// Fails on the empty topology.  Topology constructors guarantee no
-    /// isolated vertices for the closed-form families; hash-defined
-    /// topologies (`ImplicitGnp`, `ImplicitSbm`) cannot be checked without
-    /// `Θ(n²)` work and instead panic from sampling if run outside their
-    /// dense regime.
+    /// otherwise.  Fails on the empty topology — see [`Engine::new`].
     pub fn new(topo: T) -> Result<Self> {
-        if topo.n() == 0 {
-            return Err(DynamicsError::InvalidGraph {
-                reason: "cannot run dynamics on the empty topology".into(),
-            });
-        }
         Ok(TopologySimulator {
-            topo,
-            stopping: StoppingCondition::default(),
-            threads: 1,
-            record_trace: false,
+            engine: Engine::new(topo)?,
         })
     }
 
     /// Sets the stopping condition.
     pub fn with_stopping(mut self, stopping: StoppingCondition) -> Self {
-        self.stopping = stopping;
+        self.engine = self.engine.with_stopping(stopping);
         self
     }
 
     /// Sets the worker thread count (`0` means "number of available CPUs").
     /// The result does not depend on this — only the wall clock does.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
+        self.engine = self.engine.with_threads(threads);
         self
     }
 
     /// Enables or disables per-round trace recording.
     pub fn with_trace(mut self, record: bool) -> Self {
-        self.record_trace = record;
+        self.engine = self.engine.with_trace(record);
         self
     }
 
     /// The underlying topology.
     pub fn topology(&self) -> &T {
-        &self.topo
+        self.engine.topology()
     }
 
     /// Number of worker threads in use.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.engine.threads()
     }
 
-    /// One deterministic synchronous round: reads `current`, writes the next
-    /// opinions into `next` (cleared and refilled).  `master_seed` and
-    /// `round` feed the per-chunk RNG derivation.
+    /// One deterministic synchronous round — see [`Engine::step_seeded_kind`].
     pub fn step(
         &self,
         kind: ProtocolKind,
@@ -115,93 +82,27 @@ impl<T: Topology> TopologySimulator<T> {
         master_seed: u64,
         round: u64,
     ) {
-        let mut snap = PackedSnapshot::all_red(0);
-        self.step_into(kind, current, next, master_seed, round, &mut snap);
-    }
-
-    /// [`TopologySimulator::step`] with a caller-owned snapshot buffer, so
-    /// repeated rounds repack in place instead of allocating.
-    fn step_into(
-        &self,
-        kind: ProtocolKind,
-        current: &Configuration,
-        next: &mut Vec<Opinion>,
-        master_seed: u64,
-        round: u64,
-        snap: &mut PackedSnapshot,
-    ) {
-        let prev = current.as_slice();
-        next.clear();
-        next.resize(prev.len(), Opinion::Red);
-        snap.repack_from(prev);
-        let snap_ref = &*snap;
-        let topo = &self.topo;
-        crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
-            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
-            kernel::dispatch_chunk_topology(kind, topo, snap_ref, start, out, &mut rng);
-        });
+        self.engine
+            .step_seeded_kind(kind, current, next, master_seed, round);
     }
 
     /// Runs the synchronous dynamics from `initial` until the stopping
-    /// condition fires, with all randomness derived from `master_seed`.
-    ///
-    /// Refuses full-neighbourhood protocols on huge hash-defined topologies
-    /// (no [`Topology::cheap_rows`]): enumerating their rows tests all
-    /// `n − 1` candidate pairs per vertex, `Θ(n²)` per round, so — matching
-    /// the `GraphError::TooLarge` policy of the graph-side diagnostics —
-    /// that combination is a typed error past
-    /// [`bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT`] instead of an open-ended
-    /// grind.
+    /// condition fires, with all randomness derived from `master_seed` —
+    /// see [`Engine::run_seeded_kind`].
     pub fn run(
         &self,
         kind: ProtocolKind,
         initial: Configuration,
         master_seed: u64,
     ) -> Result<RunResult> {
-        if initial.len() != self.topo.n() {
-            return Err(DynamicsError::OpinionLengthMismatch {
-                got: initial.len(),
-                expected: self.topo.n(),
-            });
-        }
-        if matches!(kind, ProtocolKind::LocalMajority(_))
-            && !self.topo.is_all_but_self()
-            && !self.topo.cheap_rows()
-            && self.topo.n() > bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
-        {
-            return Err(DynamicsError::InvalidParameter {
-                reason: format!(
-                    "local majority on {} enumerates all n-1 candidate pairs per vertex \
-                     (Theta(n^2) per round); refusing beyond {} vertices",
-                    self.topo.label(),
-                    bo3_graph::DENSE_ANALYSIS_VERTEX_LIMIT
-                ),
-            });
-        }
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
-        let mut snap = PackedSnapshot::all_red(0);
-        Ok(drive(
-            &self.stopping,
-            self.record_trace,
-            initial,
-            |config, round| {
-                self.step_into(
-                    kind,
-                    config,
-                    &mut scratch,
-                    master_seed,
-                    round as u64,
-                    &mut snap,
-                );
-                config.overwrite_from(&scratch);
-            },
-        ))
+        self.engine.run_seeded_kind(kind, initial, master_seed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DynamicsError;
     use crate::init::InitialCondition;
     use bo3_graph::{Complete, CompleteBipartite, ImplicitGnp, ImplicitSbm};
     use rand::rngs::StdRng;

@@ -47,6 +47,7 @@ pub mod degree;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod oracle;
 pub mod properties;
 pub mod sampling;
 pub mod spec;
@@ -57,6 +58,7 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::{GraphError, Result};
+pub use oracle::{DegreeClass, DegreeOracle, DegreeWindow, DEGREE_ORACLE_FAILURE_PROBABILITY};
 pub use sampling::NeighbourSampler;
 pub use spec::{BuiltTopology, TopologySpec, GRAPH_SEED_SALT};
 pub use topology::{

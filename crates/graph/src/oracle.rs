@@ -1,0 +1,332 @@
+//! Degree oracles: cheap answers to degree-rank and quantile questions.
+//!
+//! Degree-ranked initial conditions (the adversarial regime probed by the
+//! Best-of-Two/Three SBM literature) need to know *which vertices carry the
+//! highest degrees*.  On a materialised graph that is one `Θ(n log n)` sort;
+//! on an implicit topology the naive route reads every degree through
+//! [`crate::Topology::degree`] — `Θ(n)` per call on the hash-defined
+//! families, `Θ(n²)` for the full ranking.  The oracle replaces that scan:
+//!
+//! * **closed-form families** (`Complete`, `CompleteBipartite`,
+//!   `CompleteMultipartite`) know their degree multiset exactly from the
+//!   parameters — [`DegreeOracle::Exact`] lists the degree classes as
+//!   contiguous id ranges, so every rank/quantile query is
+//!   `O(#classes)` ⊆ `O(log n)`-ish work and *exact*;
+//! * **hash-defined families** (`ImplicitGnp`, `ImplicitSbm`) have i.i.d.
+//!   Binomial-sum degrees concentrated around their mean —
+//!   [`DegreeOracle::Window`] is a Bernstein concentration window
+//!   `[lo, hi]` containing **every** vertex's degree simultaneously except
+//!   with probability at most
+//!   [`DEGREE_ORACLE_FAILURE_PROBABILITY`] (union bound over the `n`
+//!   vertices).  At the oracle's resolution the vertices are exchangeable:
+//!   no ranking distinguishable from any other can be certified, so rank
+//!   queries return canonical choices from opposite ends of the id space
+//!   (prefix for highest, suffix for lowest).
+//!
+//! The oracle is surfaced through [`crate::Topology::degree_oracle`]; the
+//! dynamics layer uses it to place degree-ranked initial conditions on
+//! implicit graphs without ever scanning a degree sequence.
+
+use std::ops::Range;
+
+use crate::csr::VertexId;
+
+/// Probability budget for a [`DegreeOracle::Window`]: the chance that *any*
+/// vertex's realised degree falls outside the reported window is at most
+/// this (union bound over all `n` vertices, Bernstein tail per vertex).
+///
+/// `10⁻⁶` is far below anything Monte-Carlo replication can resolve, while
+/// keeping the window width `O(√(d̄ · ln n))` — a vanishing fraction of the
+/// mean degree in the dense regime the implicit families target.
+pub const DEGREE_ORACLE_FAILURE_PROBABILITY: f64 = 1e-6;
+
+/// One exact degree class: `vertices` is a contiguous id range whose members
+/// all have exactly `degree` neighbours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeClass {
+    /// The common degree of every vertex in the class.
+    pub degree: usize,
+    /// The contiguous vertex-id range forming the class.
+    pub vertices: Range<VertexId>,
+}
+
+impl DegreeClass {
+    /// Number of vertices in the class.
+    pub fn len(&self) -> usize {
+        self.vertices.end - self.vertices.start
+    }
+
+    /// `true` when the class is empty (never produced by the topologies).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// A simultaneous concentration window over an implicit topology's degree
+/// sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeWindow {
+    /// Number of vertices the window covers.
+    pub n: usize,
+    /// Expected degree (identical for every vertex of the hash-defined
+    /// families, whose blocks are equal-sized by construction).
+    pub mean: f64,
+    /// Lower end of the window (inclusive).
+    pub lo: usize,
+    /// Upper end of the window (inclusive).
+    pub hi: usize,
+    /// Upper bound on `P[∃v: deg(v) ∉ [lo, hi]]`.
+    pub failure_probability: f64,
+}
+
+/// What a topology knows about its degree sequence without reading it.
+///
+/// Returned by [`crate::Topology::degree_oracle`]; `None` there means the
+/// topology has no oracle (materialised graphs answer degree queries in
+/// `O(1)` directly and need none).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegreeOracle {
+    /// The exact degree multiset as contiguous id-range classes, in vertex-id
+    /// order (classes partition `0..n`).
+    Exact(Vec<DegreeClass>),
+    /// A concentration window covering every vertex's degree at once, with
+    /// the documented failure probability.
+    Window(DegreeWindow),
+}
+
+impl DegreeOracle {
+    /// Number of vertices the oracle describes.
+    pub fn n(&self) -> usize {
+        match self {
+            DegreeOracle::Exact(classes) => classes.iter().map(DegreeClass::len).sum(),
+            DegreeOracle::Window(w) => w.n,
+        }
+    }
+
+    /// `true` when every answer is exact (closed-form families).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DegreeOracle::Exact(_))
+    }
+
+    /// Upper bound on the probability that any oracle answer is wrong:
+    /// `0` for exact oracles, the window's union-bound budget otherwise.
+    pub fn failure_probability(&self) -> f64 {
+        match self {
+            DegreeOracle::Exact(_) => 0.0,
+            DegreeOracle::Window(w) => w.failure_probability,
+        }
+    }
+
+    /// Bounds `[lo, hi]` on the degree of vertex `v` — tight for exact
+    /// oracles (`O(#classes)`, the classes are in id order), the window for
+    /// hash-defined families (`O(1)`).
+    pub fn degree_bounds(&self, v: VertexId) -> (usize, usize) {
+        match self {
+            DegreeOracle::Exact(classes) => {
+                let i = classes.partition_point(|c| c.vertices.end <= v);
+                let d = classes[i].degree;
+                (d, d)
+            }
+            DegreeOracle::Window(w) => (w.lo, w.hi),
+        }
+    }
+
+    /// Bounds on the `q`-quantile (`q ∈ [0, 1]`) of the degree sequence:
+    /// the degree of the `⌊q·(n−1)⌋`-th smallest-degree vertex.  Exact
+    /// oracles walk their classes (`O(#classes)`); windows answer in `O(1)`.
+    pub fn quantile(&self, q: f64) -> (usize, usize) {
+        debug_assert!((0.0..=1.0).contains(&q));
+        match self {
+            DegreeOracle::Exact(classes) => {
+                let n = self.n();
+                let k = ((q * (n.saturating_sub(1)) as f64).floor() as usize).min(n - 1);
+                let mut by_degree: Vec<&DegreeClass> = classes.iter().collect();
+                by_degree.sort_by_key(|c| c.degree);
+                let mut seen = 0usize;
+                for class in by_degree {
+                    seen += class.len();
+                    if k < seen {
+                        return (class.degree, class.degree);
+                    }
+                }
+                unreachable!("quantile index within the class partition");
+            }
+            DegreeOracle::Window(w) => (w.lo, w.hi),
+        }
+    }
+
+    /// The vertex ids occupying degree ranks `0..count` — descending degree
+    /// order when `highest`, ascending otherwise — as disjoint id ranges.
+    ///
+    /// Exact oracles order classes by degree (ties in id order, matching a
+    /// stable sort of the materialised degree sequence) and split the last
+    /// class as needed.  Window oracles certify that all `n` degrees share
+    /// one window, so *every* ranking is consistent with the oracle's
+    /// knowledge (up to its failure probability); the canonical
+    /// deterministic choices are the id prefix `0..count` for `highest` and
+    /// the id suffix `n−count..n` for lowest — opposite ends, so the two
+    /// ranked conditions name disjoint placements (for `count ≤ n/2`) just
+    /// as they do on a materialised graph, and on the block-numbered SBM
+    /// the prefix aligns with whole communities, the adversarial regime the
+    /// degree-ranked conditions exist to probe.  Callers comparing against
+    /// *realised* degree ranks must materialise the spec instead.
+    pub fn ranked_vertices(&self, count: usize, highest: bool) -> Vec<Range<VertexId>> {
+        let n = self.n();
+        let count = count.min(n);
+        if count == 0 {
+            return Vec::new();
+        }
+        match self {
+            DegreeOracle::Exact(classes) => {
+                let mut by_degree: Vec<&DegreeClass> = classes.iter().collect();
+                // Stable by construction: ties keep id order, exactly like a
+                // stable sort of per-vertex degrees on a materialised graph.
+                if highest {
+                    by_degree.sort_by_key(|c| std::cmp::Reverse(c.degree));
+                } else {
+                    by_degree.sort_by_key(|c| c.degree);
+                }
+                let mut out = Vec::new();
+                let mut remaining = count;
+                for class in by_degree {
+                    let take = remaining.min(class.len());
+                    out.push(class.vertices.start..class.vertices.start + take);
+                    remaining -= take;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                out
+            }
+            // One canonical range (not a materialised id list): prefix for
+            // highest, suffix for lowest, so the two conditions stay
+            // distinct placements under an exchangeable-degree oracle.
+            #[allow(clippy::single_range_in_vec_init)]
+            DegreeOracle::Window(_) => {
+                if highest {
+                    vec![0..count]
+                } else {
+                    vec![n - count..n]
+                }
+            }
+        }
+    }
+}
+
+/// Builds the simultaneous Bernstein window for `n` i.i.d.-ish degrees with
+/// the given per-vertex `mean` and `variance` bound.
+///
+/// Per vertex, Bernstein's inequality gives
+/// `P[|deg − μ| ≥ t] ≤ 2·exp(−t² / (2(σ² + t/3)))`; taking
+/// `t = √(2σ²L) + L` with `L = ln(2n / failure_probability)` makes the right
+/// side at most `failure_probability / n`, so the union bound over all `n`
+/// vertices keeps the *simultaneous* failure probability at the stated
+/// budget.  (`t = √(2σ²L) + L` dominates the exact inversion
+/// `√(2σ²L) + 2L/3`, trading a slightly wider window for a simpler form.)
+pub(crate) fn concentration_window(
+    n: usize,
+    mean: f64,
+    variance: f64,
+    failure_probability: f64,
+) -> DegreeWindow {
+    debug_assert!(n >= 2);
+    debug_assert!(variance >= 0.0 && failure_probability > 0.0);
+    let l = (2.0 * n as f64 / failure_probability).ln().max(1.0);
+    let t = (2.0 * variance * l).sqrt() + l;
+    DegreeWindow {
+        n,
+        mean,
+        lo: (mean - t).floor().max(0.0) as usize,
+        hi: (((mean + t).ceil()) as usize).min(n - 1),
+        failure_probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_oracle() -> DegreeOracle {
+        // K_{3,7}: ids 0..3 have degree 7, ids 3..10 degree 3.
+        DegreeOracle::Exact(vec![
+            DegreeClass {
+                degree: 7,
+                vertices: 0..3,
+            },
+            DegreeClass {
+                degree: 3,
+                vertices: 3..10,
+            },
+        ])
+    }
+
+    #[test]
+    fn exact_oracle_reports_basics() {
+        let oracle = two_class_oracle();
+        assert_eq!(oracle.n(), 10);
+        assert!(oracle.is_exact());
+        assert_eq!(oracle.failure_probability(), 0.0);
+        assert_eq!(oracle.degree_bounds(0), (7, 7));
+        assert_eq!(oracle.degree_bounds(2), (7, 7));
+        assert_eq!(oracle.degree_bounds(3), (3, 3));
+        assert_eq!(oracle.degree_bounds(9), (3, 3));
+    }
+
+    #[test]
+    fn exact_quantiles_walk_the_sorted_multiset() {
+        let oracle = two_class_oracle();
+        // Ascending degree multiset: seven 3s then three 7s.  Index ⌊q·9⌋:
+        // q=0 → idx 0 (3), q=0.5 → idx 4 (3), q=0.78 → idx 7 (the first 7),
+        // q=1 → idx 9 (7).
+        assert_eq!(oracle.quantile(0.0), (3, 3));
+        assert_eq!(oracle.quantile(0.5), (3, 3));
+        assert_eq!(oracle.quantile(0.78), (7, 7));
+        assert_eq!(oracle.quantile(1.0), (7, 7));
+    }
+
+    #[test]
+    fn exact_ranking_splits_classes_and_keeps_id_order_on_ties() {
+        let oracle = two_class_oracle();
+        assert_eq!(oracle.ranked_vertices(2, true), vec![0..2]);
+        assert_eq!(oracle.ranked_vertices(5, true), vec![0..3, 3..5]);
+        assert_eq!(oracle.ranked_vertices(4, false), vec![3..7]);
+        assert_eq!(oracle.ranked_vertices(0, true), Vec::<Range<usize>>::new());
+        // Counts past n are clamped.
+        let all: usize = oracle
+            .ranked_vertices(99, true)
+            .iter()
+            .map(|r| r.len())
+            .sum();
+        assert_eq!(all, 10);
+    }
+
+    #[test]
+    fn window_oracle_answers_with_its_bounds() {
+        let w = concentration_window(1_000, 500.0, 250.0, 1e-6);
+        assert!(w.lo < 500 && w.hi > 500);
+        assert!(w.hi <= 999);
+        let oracle = DegreeOracle::Window(w.clone());
+        assert_eq!(oracle.n(), 1_000);
+        assert!(!oracle.is_exact());
+        assert_eq!(oracle.failure_probability(), 1e-6);
+        assert_eq!(oracle.degree_bounds(7), (w.lo, w.hi));
+        assert_eq!(oracle.quantile(0.5), (w.lo, w.hi));
+        // Opposite canonical ends: highest takes the prefix, lowest the
+        // suffix, so the two ranked placements stay disjoint.
+        assert_eq!(oracle.ranked_vertices(10, true), vec![0..10]);
+        assert_eq!(oracle.ranked_vertices(10, false), vec![990..1000]);
+    }
+
+    #[test]
+    fn window_width_grows_sublinearly_with_the_mean() {
+        // Θ(√(d̄·ln n)) width: a vanishing fraction of the mean at scale.
+        let w = concentration_window(1_000_000, 500_000.0, 250_000.0, 1e-6);
+        let width = (w.hi - w.lo) as f64;
+        assert!(
+            width < 0.05 * w.mean,
+            "window width {width} vs mean {}",
+            w.mean
+        );
+        assert!(w.lo as f64 <= w.mean && w.mean <= w.hi as f64);
+    }
+}

@@ -333,9 +333,11 @@ impl BuiltTopology {
     /// The materialised graph, when this topology is CSR-backed.
     ///
     /// `Some` exactly for [`BuiltTopology::Materialised`]; the engine uses
-    /// this to route CSR-backed runs through the materialised-graph path
-    /// (batched kernels, asynchronous schedules, degree-ranked initial
-    /// conditions) while implicit topologies stay adjacency-free.
+    /// this to serve the graph-only features (custom `dyn` protocols,
+    /// realised degree sequences) while implicit topologies stay
+    /// adjacency-free.  This is the same answer as the
+    /// [`Topology::as_graph`] trait hook, kept inherent so callers without
+    /// the trait in scope can still reach it.
     pub fn as_graph(&self) -> Option<&CsrGraph> {
         match self {
             BuiltTopology::Materialised(g) => Some(g),
@@ -397,6 +399,14 @@ impl Topology for BuiltTopology {
             BuiltTopology::Materialised(g) => Some(g.as_csr()),
             _ => None,
         }
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        BuiltTopology::as_graph(self)
+    }
+
+    fn degree_oracle(&self) -> Option<crate::oracle::DegreeOracle> {
+        delegate_topology!(self, t => t.degree_oracle())
     }
 
     fn is_all_but_self(&self) -> bool {

@@ -50,6 +50,9 @@ use rand::RngCore;
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::error::{GraphError, Result};
+use crate::oracle::{
+    concentration_window, DegreeClass, DegreeOracle, DEGREE_ORACLE_FAILURE_PROBABILITY,
+};
 
 /// Gives up on rejection sampling after this many consecutive misses.
 ///
@@ -182,6 +185,26 @@ pub trait Topology: Sync {
         None
     }
 
+    /// The materialised [`CsrGraph`] behind this topology, when there is
+    /// one.  This is what lets a topology-generic engine serve the
+    /// graph-only features (custom `dyn` protocols reading neighbour rows,
+    /// realised degree sequences) without a separate materialised engine;
+    /// implicit topologies return `None`.
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        None
+    }
+
+    /// The degree oracle: what this topology knows about its degree
+    /// sequence *without reading it* — exact contiguous degree classes for
+    /// the closed-form families, a simultaneous concentration window (with
+    /// documented failure probability) for the hash-defined ones.
+    ///
+    /// `None` (the default) means no oracle; materialised graphs answer
+    /// degree queries in `O(1)` directly and provide none.
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        None
+    }
+
     /// `true` when every vertex is adjacent to every other vertex (the
     /// complete graph), which lets full-neighbourhood protocols replace the
     /// row scan with one popcount of the opinion snapshot.
@@ -242,6 +265,14 @@ impl<T: Topology + ?Sized> Topology for &T {
 
     fn as_csr(&self) -> Option<(&[usize], &[VertexId])> {
         (**self).as_csr()
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        (**self).as_graph()
+    }
+
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        (**self).degree_oracle()
     }
 
     fn is_all_but_self(&self) -> bool {
@@ -314,6 +345,13 @@ impl Topology for Complete {
         true
     }
 
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        Some(DegreeOracle::Exact(vec![DegreeClass {
+            degree: self.n - 1,
+            vertices: 0..self.n,
+        }]))
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
     }
@@ -381,6 +419,19 @@ impl Topology for CompleteBipartite {
         for w in range {
             f(w);
         }
+    }
+
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        Some(DegreeOracle::Exact(vec![
+            DegreeClass {
+                degree: self.b,
+                vertices: 0..self.a,
+            },
+            DegreeClass {
+                degree: self.a,
+                vertices: self.a..self.a + self.b,
+            },
+        ]))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -468,6 +519,19 @@ impl Topology for CompleteMultipartite {
         for w in (0..start).chain(start + size..self.n()) {
             f(w);
         }
+    }
+
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        let n = self.n();
+        Some(DegreeOracle::Exact(
+            self.offsets
+                .windows(2)
+                .map(|w| DegreeClass {
+                    degree: n - (w[1] - w[0]),
+                    vertices: w[0]..w[1],
+                })
+                .collect(),
+        ))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -582,6 +646,17 @@ impl Topology for ImplicitGnp {
 
     fn cheap_rows(&self) -> bool {
         false
+    }
+
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        // Degrees are Binomial(n − 1, p): mean p(n−1), variance p(1−p)(n−1).
+        let trials = (self.n - 1) as f64;
+        Some(DegreeOracle::Window(concentration_window(
+            self.n,
+            self.p * trials,
+            self.p * (1.0 - self.p) * trials,
+            DEGREE_ORACLE_FAILURE_PROBABILITY,
+        )))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -727,6 +802,20 @@ impl Topology for ImplicitSbm {
         false
     }
 
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        // Every vertex's degree is the same independent sum
+        // Binomial(s − 1, p_in) + Binomial(n − s, p_out) (equal-size blocks),
+        // so one Bernstein window covers the whole sequence.
+        let within = (self.block_size - 1) as f64;
+        let across = (self.n - self.block_size) as f64;
+        Some(DegreeOracle::Window(concentration_window(
+            self.n,
+            self.expected_degree(),
+            within * self.p_in * (1.0 - self.p_in) + across * self.p_out * (1.0 - self.p_out),
+            DEGREE_ORACLE_FAILURE_PROBABILITY,
+        )))
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
     }
@@ -793,6 +882,10 @@ impl Topology for CsrTopology<'_> {
 
     fn as_csr(&self) -> Option<(&[usize], &[VertexId])> {
         Some(self.graph.as_csr())
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        Some(self.graph)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -1078,6 +1171,108 @@ mod tests {
         for &w in &buf {
             assert_eq!(w, topo.sample_neighbour(2, &mut b));
         }
+    }
+
+    /// The oracle ground truth: per-vertex degrees through the `Θ(n)` scan
+    /// the oracle exists to replace.
+    fn scanned_degrees<T: Topology>(topo: &T) -> Vec<usize> {
+        (0..topo.n()).map(|v| topo.degree(v)).collect()
+    }
+
+    #[test]
+    fn exact_oracles_match_the_degree_scan() {
+        let complete = Complete::new(9).unwrap();
+        let bipartite = CompleteBipartite::new(4, 7).unwrap();
+        let multipartite = CompleteMultipartite::new(&[3, 4, 5]).unwrap();
+        let check = |oracle: crate::oracle::DegreeOracle, degrees: Vec<usize>| {
+            assert!(oracle.is_exact());
+            assert_eq!(oracle.n(), degrees.len());
+            for (v, &d) in degrees.iter().enumerate() {
+                assert_eq!(oracle.degree_bounds(v), (d, d), "vertex {v}");
+            }
+            let mut sorted = degrees.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let k = (q * (sorted.len() - 1) as f64).floor() as usize;
+                assert_eq!(oracle.quantile(q), (sorted[k], sorted[k]), "q={q}");
+            }
+        };
+        check(
+            complete.degree_oracle().unwrap(),
+            scanned_degrees(&complete),
+        );
+        check(
+            bipartite.degree_oracle().unwrap(),
+            scanned_degrees(&bipartite),
+        );
+        check(
+            multipartite.degree_oracle().unwrap(),
+            scanned_degrees(&multipartite),
+        );
+    }
+
+    #[test]
+    fn exact_oracle_ranking_matches_a_stable_degree_sort() {
+        let topo = CompleteMultipartite::new(&[3, 4, 5]).unwrap();
+        let oracle = topo.degree_oracle().unwrap();
+        let degrees = scanned_degrees(&topo);
+        for highest in [true, false] {
+            for count in [0usize, 1, 3, 7, 12] {
+                let mut by_deg: Vec<usize> = (0..topo.n()).collect();
+                if highest {
+                    by_deg.sort_by_key(|&v| std::cmp::Reverse(degrees[v]));
+                } else {
+                    by_deg.sort_by_key(|&v| degrees[v]);
+                }
+                let mut expected: Vec<usize> = by_deg[..count].to_vec();
+                expected.sort_unstable();
+                let mut got: Vec<usize> = oracle
+                    .ranked_vertices(count, highest)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, expected, "highest={highest} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_defined_windows_contain_every_realised_degree() {
+        let gnp = ImplicitGnp::new(400, 0.4, 7).unwrap();
+        let sbm = ImplicitSbm::new(400, 4, 0.6, 0.2, 9).unwrap();
+        let check = |oracle: crate::oracle::DegreeOracle, degrees: Vec<usize>| {
+            let crate::oracle::DegreeOracle::Window(w) = &oracle else {
+                panic!("hash-defined families must report a window oracle");
+            };
+            assert!(w.failure_probability <= DEGREE_ORACLE_FAILURE_PROBABILITY);
+            for (v, &d) in degrees.iter().enumerate() {
+                assert!(
+                    (w.lo..=w.hi).contains(&d),
+                    "vertex {v}: degree {d} outside window [{}, {}]",
+                    w.lo,
+                    w.hi
+                );
+            }
+            // Ranked queries stay answerable: a canonical prefix.
+            assert_eq!(oracle.ranked_vertices(10, true), vec![0..10]);
+        };
+        check(gnp.degree_oracle().unwrap(), scanned_degrees(&gnp));
+        check(sbm.degree_oracle().unwrap(), scanned_degrees(&sbm));
+    }
+
+    #[test]
+    fn csr_topology_has_a_graph_but_no_oracle() {
+        let g = generators::complete(12);
+        let topo = CsrTopology::new(&g);
+        assert!(topo.degree_oracle().is_none());
+        assert_eq!(topo.as_graph().unwrap(), &g);
+        assert!(Complete::new(12).unwrap().as_graph().is_none());
+        // Reference delegation covers the new hooks too.
+        let implicit = Complete::new(12).unwrap();
+        let by_ref: &Complete = &implicit;
+        assert!(by_ref.as_graph().is_none());
+        assert!(by_ref.degree_oracle().unwrap().is_exact());
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn main() {
         .expect("materialised spec yields a graph")
         .clone();
 
-    let simulator = Simulator::new(&graph).expect("simulator").with_trace(true);
+    let simulator = Engine::on_graph(&graph).expect("engine").with_trace(true);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let initial = InitialCondition::BernoulliWithBias { delta }
         .sample(&graph, &mut rng)

@@ -31,7 +31,7 @@ pub fn sparse_scenario(side: usize) -> CsrGraph {
 /// Runs a single traced Best-of-Three trajectory from the paper's initial
 /// condition and returns the run result.
 pub fn traced_run(graph: &CsrGraph, delta: f64, seed: u64) -> RunResult {
-    let sim = Simulator::new(graph).expect("simulator").with_trace(true);
+    let sim = Engine::on_graph(graph).expect("engine").with_trace(true);
     let mut rng = StdRng::seed_from_u64(seed);
     let init = InitialCondition::BernoulliWithBias { delta }
         .sample(graph, &mut rng)

@@ -1,0 +1,159 @@
+//! Property-based coverage of the degree oracle
+//! (`bo3_graph::oracle::DegreeOracle`).
+//!
+//! Two halves, matching the two oracle flavours:
+//!
+//! * **exact** — on `Complete` / `CompleteBipartite` /
+//!   `CompleteMultipartite` the oracle's per-vertex degrees, quantiles and
+//!   rank prefixes are pinned against the `Θ(n)` degree scan (and a stable
+//!   degree sort) it exists to replace;
+//! * **window** — on `ImplicitGnp` / `ImplicitSbm` the Bernstein
+//!   concentration window must contain every realised degree.  The oracle
+//!   documents a simultaneous failure probability of at most
+//!   `DEGREE_ORACLE_FAILURE_PROBABILITY` (= 10⁻⁶) per topology; across the
+//!   few hundred random topologies this suite draws, the chance of *any*
+//!   assertion failing is therefore below ~10⁻⁴ — a flake rate far beyond
+//!   anything CI can observe.
+
+use bo3_core::prelude::*;
+use bo3_graph::{DegreeOracle, DEGREE_ORACLE_FAILURE_PROBABILITY};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy over the closed-form implicit specs (exact oracles).
+fn closed_form_strategy() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2usize..200).prop_map(|n| TopologySpec::Complete { n }),
+        (1usize..60, 1usize..60).prop_map(|(a, b)| TopologySpec::CompleteBipartite { a, b }),
+        proptest::collection::vec(1usize..25, 2..6)
+            .prop_map(|blocks| TopologySpec::CompleteMultipartite { blocks }),
+    ]
+}
+
+/// Strategy over hash-defined implicit specs (window oracles), sized so the
+/// degree scan used as ground truth stays cheap.
+fn hash_defined_strategy() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (50usize..400, 0.1f64..0.9).prop_map(|(n, p)| TopologySpec::ImplicitGnp { n, p }),
+        (2usize..5, 20usize..90, 0.1f64..0.9, 0.1f64..0.9).prop_map(
+            |(blocks, block_size, p_in, p_out)| TopologySpec::ImplicitSbm {
+                n: blocks * block_size,
+                blocks,
+                p_in,
+                p_out,
+            }
+        ),
+    ]
+}
+
+fn scanned_degrees(built: &BuiltTopology) -> Vec<usize> {
+    (0..built.n()).map(|v| built.degree(v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_oracles_agree_with_the_scan_they_replace(
+        spec in closed_form_strategy(),
+        seed in any::<u64>(),
+        q in 0.0f64..=1.0,
+    ) {
+        let built = spec.build(seed).unwrap();
+        let oracle = built.degree_oracle().expect("closed forms have an oracle");
+        prop_assert!(oracle.is_exact());
+        prop_assert!(oracle.failure_probability() == 0.0);
+        let degrees = scanned_degrees(&built);
+        prop_assert_eq!(oracle.n(), degrees.len());
+        // Per-vertex degrees are exact.
+        for (v, &d) in degrees.iter().enumerate() {
+            prop_assert_eq!(oracle.degree_bounds(v), (d, d), "vertex {}", v);
+        }
+        // Quantiles walk the same sorted multiset as the scan.
+        let mut sorted = degrees;
+        sorted.sort_unstable();
+        let k = ((q * (sorted.len() - 1) as f64).floor() as usize).min(sorted.len() - 1);
+        prop_assert_eq!(oracle.quantile(q), (sorted[k], sorted[k]));
+    }
+
+    #[test]
+    fn exact_rank_prefixes_match_a_stable_degree_sort(
+        spec in closed_form_strategy(),
+        seed in any::<u64>(),
+        count_frac in 0.0f64..=1.0,
+        highest in any::<bool>(),
+    ) {
+        let built = spec.build(seed).unwrap();
+        let oracle = built.degree_oracle().unwrap();
+        let degrees = scanned_degrees(&built);
+        let n = degrees.len();
+        let count = ((count_frac * n as f64) as usize).min(n);
+        // Ground truth: the stable sort `InitialCondition::{Highest,Lowest}-
+        // DegreeBlue` performs on a materialised graph.
+        let mut by_deg: Vec<usize> = (0..n).collect();
+        if highest {
+            by_deg.sort_by_key(|&v| std::cmp::Reverse(degrees[v]));
+        } else {
+            by_deg.sort_by_key(|&v| degrees[v]);
+        }
+        let mut expected: Vec<usize> = by_deg[..count].to_vec();
+        expected.sort_unstable();
+        let ranges = oracle.ranked_vertices(count, highest);
+        let mut got: Vec<usize> = ranges.iter().cloned().flatten().collect();
+        // Ranges are disjoint (no vertex double-counted).
+        prop_assert_eq!(got.len(), count);
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got.len(), count);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn degree_ranked_placement_matches_between_oracle_and_materialisation(
+        spec in closed_form_strategy(),
+        seed in any::<u64>(),
+        blue_frac in 0.0f64..=1.0,
+        highest in any::<bool>(),
+    ) {
+        let built = spec.build(seed).unwrap();
+        let n = built.n();
+        let blue = ((blue_frac * n as f64) as usize).min(n);
+        let cond = if highest {
+            InitialCondition::HighestDegreeBlue { blue }
+        } else {
+            InitialCondition::LowestDegreeBlue { blue }
+        };
+        let graph = bo3_graph::topology::materialize(&built).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let via_oracle = cond.sample_topology(&built, &mut rng_a).unwrap();
+        let via_graph = cond.sample(&graph, &mut rng_b).unwrap();
+        prop_assert_eq!(via_oracle, via_graph);
+    }
+
+    #[test]
+    fn concentration_windows_contain_every_realised_degree(
+        spec in hash_defined_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let built = spec.build(seed).unwrap();
+        let oracle = built.degree_oracle().expect("hash-defined families have an oracle");
+        let DegreeOracle::Window(window) = &oracle else {
+            panic!("expected a window oracle for {}", built.label());
+        };
+        prop_assert!(window.failure_probability <= DEGREE_ORACLE_FAILURE_PROBABILITY);
+        prop_assert!(window.lo as f64 <= window.mean && window.mean <= window.hi as f64);
+        prop_assert!(window.hi < built.n());
+        for (v, d) in scanned_degrees(&built).into_iter().enumerate() {
+            prop_assert!(
+                (window.lo..=window.hi).contains(&d),
+                "vertex {} degree {} outside [{}, {}] (p_fail {})",
+                v, d, window.lo, window.hi, window.failure_probability,
+            );
+        }
+        // Every rank query stays answerable, as the canonical prefix.
+        let half = built.n() / 2;
+        prop_assert_eq!(oracle.ranked_vertices(half, true), vec![0..half]);
+    }
+}

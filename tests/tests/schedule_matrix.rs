@@ -1,0 +1,171 @@
+//! Schedule × topology regression matrix.
+//!
+//! PR 4's `Experiment::run` silently forked per spec kind and rejected
+//! `schedule(AsynchronousRandomOrder)` on implicit specs with a typed
+//! error.  The unified engine deleted that fork: every [`TopologySpec`]
+//! variant must now run under **both** schedules, reproducibly — which is
+//! exactly what this suite pins, together with the seeded-async determinism
+//! semantics (bit-identical across repetitions and thread counts for a
+//! fixed seed).
+
+use bo3_core::prelude::*;
+
+/// One small instance of every `TopologySpec` variant.
+fn all_variants() -> Vec<TopologySpec> {
+    vec![
+        TopologySpec::Complete { n: 400 },
+        TopologySpec::CompleteBipartite { a: 180, b: 220 },
+        TopologySpec::CompleteMultipartite {
+            blocks: vec![100, 140, 160],
+        },
+        TopologySpec::ImplicitGnp { n: 400, p: 0.4 },
+        TopologySpec::ImplicitSbm {
+            n: 400,
+            blocks: 2,
+            p_in: 0.5,
+            p_out: 0.4,
+        },
+        TopologySpec::Materialised(GraphSpec::DenseForAlpha { n: 400, alpha: 0.8 }),
+    ]
+}
+
+fn experiment(spec: TopologySpec, schedule: Schedule) -> Experiment {
+    Experiment::on(spec)
+        .schedule(schedule)
+        .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+        .stopping(StoppingCondition::consensus_within(10_000))
+        .replicas(3)
+        .seed(0xA51)
+        .threads(2)
+}
+
+#[test]
+fn every_spec_variant_runs_under_both_schedules() {
+    for spec in all_variants() {
+        for schedule in [Schedule::Synchronous, Schedule::AsynchronousRandomOrder] {
+            let label = format!("{} / {}", spec.label(), schedule.label());
+            let result = experiment(spec.clone(), schedule)
+                .run()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(result.schedule, schedule, "{label}");
+            assert_eq!(result.report.outcomes.len(), 3, "{label}");
+            assert!(
+                (result.report.consensus_rate - 1.0).abs() < 1e-12,
+                "{label} should reach consensus"
+            );
+            assert!(result.red_swept(), "{label} should sweep red");
+        }
+    }
+}
+
+#[test]
+fn asynchronous_runs_are_reproducible_for_every_variant() {
+    for spec in all_variants() {
+        let label = spec.label();
+        let a = experiment(spec.clone(), Schedule::AsynchronousRandomOrder)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let b = experiment(spec, Schedule::AsynchronousRandomOrder)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            a.report, b.report,
+            "{label}: seeded async reports must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn asynchronous_implicit_reports_are_thread_count_invariant() {
+    // n spans multiple 4096-vertex kernel chunks, so a thread-dependent
+    // regression could not hide in a single work unit.
+    let run_with = |threads: usize| {
+        Experiment::on(TopologySpec::ImplicitGnp { n: 9_000, p: 0.3 })
+            .schedule(Schedule::AsynchronousRandomOrder)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.12 })
+            .stopping(StoppingCondition::fixed_rounds(4))
+            .replicas(2)
+            .seed(7)
+            .threads(threads)
+            .run()
+            .unwrap()
+    };
+    let one = run_with(1);
+    assert_eq!(one, run_with(2));
+    assert_eq!(one, run_with(8));
+}
+
+#[test]
+fn the_two_schedules_are_genuinely_different_processes() {
+    // Same spec, same seed: the asynchronous ablation must not silently
+    // alias the synchronous path (they consume different stream layouts and
+    // different state-read semantics).
+    let run_with = |schedule: Schedule| {
+        Experiment::on(TopologySpec::ImplicitGnp { n: 2_000, p: 0.4 })
+            .schedule(schedule)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.05 })
+            .stopping(StoppingCondition::fixed_rounds(3))
+            .replicas(1)
+            .seed(3)
+            .run()
+            .unwrap()
+    };
+    let sync = run_with(Schedule::Synchronous);
+    let async_ = run_with(Schedule::AsynchronousRandomOrder);
+    assert!(
+        (sync.report.outcomes[0].final_blue_fraction
+            - async_.report.outcomes[0].final_blue_fraction)
+            .abs()
+            > 1e-9,
+        "sync and async trajectories should differ"
+    );
+}
+
+#[test]
+fn degree_ranked_initials_run_on_implicit_sbm_through_the_oracle() {
+    // Pre-oracle this combination was a typed error (`sample_n` cannot rank
+    // degrees); now the adversarial placement runs adjacency-free under
+    // both schedules.
+    for schedule in [Schedule::Synchronous, Schedule::AsynchronousRandomOrder] {
+        let result = Experiment::on(TopologySpec::ImplicitSbm {
+            n: 3_000,
+            blocks: 2,
+            p_in: 0.5,
+            p_out: 0.4,
+        })
+        .schedule(schedule)
+        .initial(InitialCondition::HighestDegreeBlue { blue: 900 })
+        .stopping(StoppingCondition::consensus_within(10_000))
+        .replicas(2)
+        .seed(11)
+        .run()
+        .unwrap();
+        assert!(
+            (result.report.consensus_rate - 1.0).abs() < 1e-12,
+            "{}",
+            schedule.label()
+        );
+        for outcome in &result.report.outcomes {
+            assert!((outcome.initial_blue_fraction - 0.3).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn registry_names_compose_with_the_asynchronous_schedule() {
+    // The short-name surface reaches the same unified engine.
+    for name in TOPOLOGY_NAMES {
+        let spec = resolve_topology(name, 600).unwrap_or_else(|| panic!("{name}"));
+        let result = Experiment::on(spec)
+            .named(format!("schedule-matrix/{name}"))
+            .schedule(Schedule::AsynchronousRandomOrder)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
+            .stopping(StoppingCondition::fixed_rounds(2))
+            .replicas(1)
+            .seed(1)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(result.n, 600, "{name}");
+        assert_eq!(result.schedule, Schedule::AsynchronousRandomOrder);
+    }
+}
