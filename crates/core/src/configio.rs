@@ -19,8 +19,15 @@
 //! `topology` key holding a [`TopologySpec`], or a legacy `graph` key whose
 //! value is wrapped into [`TopologySpec::Materialised`] — the golden tests
 //! below pin that old configs keep deserialising.
+//!
+//! Scenario API v3 adds an optional `adversary` key (an array of
+//! [`AdversarySpec`]s).  Honest experiments omit the key entirely, so the v2
+//! layout is unchanged byte for byte, and v2 documents (no adversary key)
+//! parse to an empty adversary list.
 
-use bo3_dynamics::prelude::{InitialCondition, ProtocolSpec, Schedule, StoppingCondition, TieRule};
+use bo3_dynamics::prelude::{
+    AdversarySpec, InitialCondition, ProtocolSpec, Schedule, StoppingCondition, TieRule,
+};
 use bo3_graph::generators::GraphSpec;
 use bo3_graph::TopologySpec;
 
@@ -495,6 +502,12 @@ fn need_f64(json: &Json, key: &str, ty: &str) -> Result<f64> {
         .ok_or_else(|| invalid(format!("{ty}.{key} must be a number")))
 }
 
+fn need_u64(json: &Json, key: &str, ty: &str) -> Result<u64> {
+    need(json, key, ty)?
+        .as_u64()
+        .ok_or_else(|| invalid(format!("{ty}.{key} must be a non-negative integer")))
+}
+
 fn payload<'j>(payload: Option<&'j Json>, tag: &str) -> Result<&'j Json> {
     payload.ok_or_else(|| invalid(format!("variant '{tag}' requires a payload object")))
 }
@@ -897,6 +910,77 @@ impl FromJson for InitialCondition {
     }
 }
 
+// --- AdversarySpec (Scenario API v3) ------------------------------------
+
+impl ToJson for AdversarySpec {
+    fn to_json(&self) -> Json {
+        match self {
+            AdversarySpec::Zealots { fraction } => {
+                tagged("Zealots", obj(vec![("fraction", float(*fraction))]))
+            }
+            AdversarySpec::ZealotIds { vertices } => tagged(
+                "ZealotIds",
+                obj(vec![(
+                    "vertices",
+                    Json::Arr(vertices.iter().map(|&v| uint(v)).collect()),
+                )]),
+            ),
+            AdversarySpec::Byzantine { fraction } => {
+                tagged("Byzantine", obj(vec![("fraction", float(*fraction))]))
+            }
+            AdversarySpec::Drop { q } => tagged("Drop", obj(vec![("q", float(*q))])),
+            AdversarySpec::Partition {
+                from_round,
+                until_round,
+                blocks,
+            } => tagged(
+                "Partition",
+                obj(vec![
+                    ("from_round", Json::UInt(*from_round)),
+                    ("until_round", Json::UInt(*until_round)),
+                    ("blocks", uint(*blocks)),
+                ]),
+            ),
+        }
+    }
+}
+
+impl FromJson for AdversarySpec {
+    fn from_json(json: &Json) -> Result<Self> {
+        let (tag, body) = json.as_variant()?;
+        let body = payload(body, tag)?;
+        match tag {
+            "Zealots" => Ok(AdversarySpec::Zealots {
+                fraction: need_f64(body, "fraction", tag)?,
+            }),
+            "ZealotIds" => {
+                let vertices = need(body, "vertices", tag)?
+                    .as_array()
+                    .ok_or_else(|| invalid("ZealotIds.vertices must be an array"))?
+                    .iter()
+                    .map(|item| {
+                        item.as_usize()
+                            .ok_or_else(|| invalid("ZealotIds.vertices must hold integers"))
+                    })
+                    .collect::<Result<Vec<usize>>>()?;
+                Ok(AdversarySpec::ZealotIds { vertices })
+            }
+            "Byzantine" => Ok(AdversarySpec::Byzantine {
+                fraction: need_f64(body, "fraction", tag)?,
+            }),
+            "Drop" => Ok(AdversarySpec::Drop {
+                q: need_f64(body, "q", tag)?,
+            }),
+            "Partition" => Ok(AdversarySpec::Partition {
+                from_round: need_u64(body, "from_round", tag)?,
+                until_round: need_u64(body, "until_round", tag)?,
+                blocks: need_usize(body, "blocks", tag)?,
+            }),
+            other => Err(invalid(format!("unknown AdversarySpec variant '{other}'"))),
+        }
+    }
+}
+
 // --- Schedule & StoppingCondition --------------------------------------
 
 impl ToJson for Schedule {
@@ -959,9 +1043,20 @@ impl FromJson for StoppingCondition {
 
 impl ToJson for Experiment {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("topology", self.topology.to_json()),
+        ];
+        // Scenario API v3: the adversary key appears only when the list is
+        // non-empty, so honest configurations keep the exact v2 layout (the
+        // golden snapshot below pins both).
+        if !self.adversary.is_empty() {
+            fields.push((
+                "adversary",
+                Json::Arr(self.adversary.iter().map(|spec| spec.to_json()).collect()),
+            ));
+        }
+        fields.extend([
             ("protocol", self.protocol.to_json()),
             ("initial", self.initial.to_json()),
             ("schedule", self.schedule.to_json()),
@@ -969,7 +1064,8 @@ impl ToJson for Experiment {
             ("replicas", uint(self.replicas)),
             ("seed", Json::UInt(self.seed)),
             ("threads", uint(self.threads)),
-        ])
+        ]);
+        obj(fields)
     }
 }
 
@@ -987,12 +1083,23 @@ impl FromJson for Experiment {
                 ))
             }
         };
+        // v2 / v1 configs have no `adversary` key: absent means honest.
+        let adversary = match json.get("adversary") {
+            None => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or_else(|| invalid("Experiment.adversary must be an array"))?
+                .iter()
+                .map(AdversarySpec::from_json)
+                .collect::<Result<Vec<AdversarySpec>>>()?,
+        };
         Ok(Experiment {
             name: need(json, "name", ty)?
                 .as_str()
                 .ok_or_else(|| invalid("Experiment.name must be a string"))?
                 .to_string(),
             topology,
+            adversary,
             protocol: ProtocolSpec::from_json(need(json, "protocol", ty)?)?,
             initial: InitialCondition::from_json(need(json, "initial", ty)?)?,
             schedule: Schedule::from_json(need(json, "schedule", ty)?)?,
@@ -1089,6 +1196,60 @@ mod tests {
              \"stopping\":{\"max_rounds\":64,\"stop_on_consensus\":true,\"blue_fraction_floor\":null},\
              \"replicas\":3,\"seed\":3604,\"threads\":0}"
         );
+        round_trip(&experiment);
+    }
+
+    #[test]
+    fn golden_v3_adversarial_experiment_round_trips() {
+        let experiment = Experiment::on(TopologySpec::Complete { n: 100_000 })
+            .named("golden/adversarial")
+            .protocol(ProtocolSpec::BestOfThree)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.1 })
+            .stopping(StoppingCondition::consensus_within(128))
+            .adversary(AdversarySpec::Zealots { fraction: 0.05 })
+            .adversary(AdversarySpec::Drop { q: 0.1 })
+            .adversary(AdversarySpec::Partition {
+                from_round: 4,
+                until_round: 16,
+                blocks: 2,
+            })
+            .replicas(5)
+            .seed(0xE17)
+            .threads(0);
+        let text = experiment.to_json_string();
+        // Golden snapshot of the v3 layout: the adversary list sits right
+        // after the topology, each mechanism externally tagged.
+        assert_eq!(
+            text,
+            "{\"name\":\"golden/adversarial\",\
+             \"topology\":{\"Complete\":{\"n\":100000}},\
+             \"adversary\":[{\"Zealots\":{\"fraction\":0.05}},\
+             {\"Drop\":{\"q\":0.1}},\
+             {\"Partition\":{\"from_round\":4,\"until_round\":16,\"blocks\":2}}],\
+             \"protocol\":\"BestOfThree\",\
+             \"initial\":{\"BernoulliWithBias\":{\"delta\":0.1}},\
+             \"schedule\":\"Synchronous\",\
+             \"stopping\":{\"max_rounds\":128,\"stop_on_consensus\":true,\"blue_fraction_floor\":null},\
+             \"replicas\":5,\"seed\":3607,\"threads\":0}"
+        );
+        round_trip(&experiment);
+    }
+
+    #[test]
+    fn v2_configs_without_an_adversary_key_parse_unchanged() {
+        // The exact v2 layout (no adversary key): it must deserialise to the
+        // honest experiment, and re-serialising must not invent the key.
+        let v2 = "{\"name\":\"compat/v2\",\
+                  \"topology\":{\"ImplicitGnp\":{\"n\":5000,\"p\":0.4}},\
+                  \"protocol\":\"BestOfThree\",\
+                  \"initial\":{\"BernoulliWithBias\":{\"delta\":0.1}},\
+                  \"schedule\":\"Synchronous\",\
+                  \"stopping\":{\"max_rounds\":10000,\"stop_on_consensus\":true,\
+                  \"blue_fraction_floor\":null},\
+                  \"replicas\":8,\"seed\":1,\"threads\":0}";
+        let experiment = Experiment::from_json_str(v2).unwrap();
+        assert!(experiment.adversary.is_empty());
+        assert!(!experiment.to_json_string().contains("adversary"));
         round_trip(&experiment);
     }
 
@@ -1206,6 +1367,31 @@ mod tests {
         }
     }
 
+    fn random_adversary(rng: &mut StdRng) -> AdversarySpec {
+        match rng.gen_range(0..5usize) {
+            0 => AdversarySpec::Zealots {
+                fraction: rng.gen(),
+            },
+            1 => AdversarySpec::ZealotIds {
+                vertices: (0..rng.gen_range(0..6usize))
+                    .map(|_| rng.gen_range(0..10_000))
+                    .collect(),
+            },
+            2 => AdversarySpec::Byzantine {
+                fraction: rng.gen(),
+            },
+            3 => AdversarySpec::Drop { q: rng.gen() },
+            _ => {
+                let from = rng.gen_range(0..100u64);
+                AdversarySpec::Partition {
+                    from_round: from,
+                    until_round: from + rng.gen_range(1..100u64),
+                    blocks: rng.gen_range(2..8),
+                }
+            }
+        }
+    }
+
     fn random_initial(rng: &mut StdRng) -> InitialCondition {
         match rng.gen_range(0..7usize) {
             0 => InitialCondition::BernoulliWithBias { delta: rng.gen() },
@@ -1239,6 +1425,7 @@ mod tests {
             round_trip(&random_graph(&mut rng));
             round_trip(&random_topology(&mut rng));
             round_trip(&random_initial(&mut rng));
+            round_trip(&random_adversary(&mut rng));
         }
         for _ in 0..200 {
             let experiment = Experiment {
@@ -1263,6 +1450,9 @@ mod tests {
                 replicas: rng.gen_range(1..1_000),
                 seed: rng.gen(),
                 threads: rng.gen_range(0..64),
+                adversary: (0..rng.gen_range(0..4usize))
+                    .map(|_| random_adversary(&mut rng))
+                    .collect(),
             };
             round_trip(&experiment);
         }
@@ -1274,5 +1464,8 @@ mod tests {
         assert!(TopologySpec::from_json_str("{\"Toroidal\":{\"n\":5}}").is_err());
         assert!(Schedule::from_json_str("\"Eventually\"").is_err());
         assert!(InitialCondition::from_json_str("{\"ExactCount\":{}}").is_err());
+        assert!(AdversarySpec::from_json_str("{\"Saboteur\":{\"fraction\":0.1}}").is_err());
+        assert!(AdversarySpec::from_json_str("{\"Drop\":{}}").is_err());
+        assert!(AdversarySpec::from_json_str("{\"Partition\":{\"from_round\":1}}").is_err());
     }
 }

@@ -123,6 +123,9 @@ pub struct Experiment {
     pub seed: u64,
     /// Worker threads (`0` = available parallelism).
     pub threads: usize,
+    /// Adversarial mechanisms layered over every replica (Scenario API v3;
+    /// empty = the honest dynamics, exactly the v2 behaviour).
+    pub adversary: Vec<AdversarySpec>,
 }
 
 impl Experiment {
@@ -146,6 +149,7 @@ impl Experiment {
             replicas: 8,
             seed: 0,
             threads: 0,
+            adversary: Vec::new(),
         }
     }
 
@@ -194,6 +198,14 @@ impl Experiment {
     /// Sets the worker-thread budget (`0` = available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Adds one adversarial mechanism (call repeatedly to compose — e.g.
+    /// zealots plus message drop; see
+    /// [`bo3_dynamics::adversary`] for the composition rules).
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary.push(spec);
         self
     }
 
@@ -388,6 +400,7 @@ impl Experiment {
             replicas: self.replicas,
             master_seed: self.seed,
             threads: self.threads,
+            adversary: self.adversary.clone(),
         }
     }
 
@@ -459,6 +472,12 @@ impl ExperimentResult {
     /// Fraction of converged replicas won by red.
     pub fn red_win_rate(&self) -> Option<f64> {
         self.report.red_win.map(|p| p.estimate)
+    }
+
+    /// Typed adversary counters aggregated over the batch — `Some` exactly
+    /// when the experiment declared an adversary (Scenario API v3).
+    pub fn adversary_counters(&self) -> Option<AdversaryCounters> {
+        self.report.adversary
     }
 
     /// The degree exponent `α` (`d_min = n^α`), when degree statistics ran.

@@ -71,7 +71,8 @@ pub mod prelude {
     pub use crate::experiment::{Analysis, Experiment, ExperimentResult};
     pub use crate::phases::{segment_trace, ObservedPhases, PhaseComparison};
     pub use crate::registry::{
-        comparison_protocols, resolve_protocol, resolve_topology, TOPOLOGY_NAMES,
+        comparison_protocols, resolve_adversary, resolve_protocol, resolve_topology,
+        ADVERSARY_NAMES, TOPOLOGY_NAMES,
     };
     pub use crate::report::{fmt_f64, fmt_opt_f64, Table};
     pub use crate::summary::{results_table, trajectory_table};

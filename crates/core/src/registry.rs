@@ -7,7 +7,7 @@
 //! "sbm:2:0.6:0.2", …); the registry resolves both and enumerates the
 //! canonical comparison set.
 
-use bo3_dynamics::prelude::{ProtocolSpec, TieRule};
+use bo3_dynamics::prelude::{AdversarySpec, ProtocolSpec, TieRule};
 use bo3_graph::generators::GraphSpec;
 use bo3_graph::TopologySpec;
 
@@ -150,6 +150,52 @@ pub fn resolve_topology(name: &str, n: usize) -> Option<TopologySpec> {
     }
 }
 
+/// Representative adversary names understood by [`resolve_adversary`]
+/// (parameterised forms accept any valid value, mirroring
+/// [`resolve_topology`]).
+pub const ADVERSARY_NAMES: &[&str] = &[
+    "zealots:0.05",
+    "byzantine:0.05",
+    "drop:0.1",
+    "partition:4:16",
+];
+
+/// Resolves a short adversary name to its specification, mirroring
+/// [`resolve_topology`].  Supported forms (case-insensitive):
+///
+/// * `zealots:<frac>` — seed-derived zealot set, `frac ∈ [0, 1]`;
+/// * `byzantine:<frac>` — seed-derived inverted reporters, `frac ∈ [0, 1]`;
+/// * `drop:<q>` — per-sample message loss, `q ∈ [0, 1]`;
+/// * `partition:<a>:<b>` — sever inter-block messages for rounds `[a, b)`
+///   with the default two blocks (`a < b`).
+///
+/// Returns `None` for unknown names or unparsable / out-of-range parameters.
+pub fn resolve_adversary(name: &str) -> Option<AdversarySpec> {
+    let lower = name.trim().to_ascii_lowercase();
+    let (family, params) = lower.split_once(':')?;
+    let spec = match family {
+        "zealots" => AdversarySpec::Zealots {
+            fraction: params.parse().ok()?,
+        },
+        "byzantine" => AdversarySpec::Byzantine {
+            fraction: params.parse().ok()?,
+        },
+        "drop" => AdversarySpec::Drop {
+            q: params.parse().ok()?,
+        },
+        "partition" => {
+            let (from, until) = params.split_once(':')?;
+            AdversarySpec::Partition {
+                from_round: from.parse().ok()?,
+                until_round: until.parse().ok()?,
+                blocks: 2,
+            }
+        }
+        _ => return None,
+    };
+    spec.validate().ok().map(|()| spec)
+}
+
 /// The protocols compared in experiments E3 and E5, with their display names.
 pub fn comparison_protocols() -> Vec<(&'static str, ProtocolSpec)> {
     vec![
@@ -284,6 +330,57 @@ mod tests {
         assert_eq!(resolve_topology("regular:100", 100), None);
         assert_eq!(resolve_topology("dense-alpha:-1", 100), None);
         assert_eq!(resolve_topology("", 100), None);
+    }
+
+    #[test]
+    fn every_listed_adversary_name_resolves_and_labels_round_trip() {
+        for name in ADVERSARY_NAMES {
+            let spec = resolve_adversary(name).unwrap_or_else(|| panic!("{name}"));
+            // The spec's own label is the registry spelling, so reports and
+            // configs agree on naming.
+            assert_eq!(&spec.label(), name, "{name}");
+        }
+    }
+
+    #[test]
+    fn adversary_names_resolve_to_the_right_mechanisms() {
+        assert_eq!(
+            resolve_adversary("zealots:0.1"),
+            Some(AdversarySpec::Zealots { fraction: 0.1 })
+        );
+        assert_eq!(
+            resolve_adversary(" Byzantine:0.25 "),
+            Some(AdversarySpec::Byzantine { fraction: 0.25 })
+        );
+        assert_eq!(
+            resolve_adversary("drop:0.5"),
+            Some(AdversarySpec::Drop { q: 0.5 })
+        );
+        assert_eq!(
+            resolve_adversary("partition:4:16"),
+            Some(AdversarySpec::Partition {
+                from_round: 4,
+                until_round: 16,
+                blocks: 2
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_adversary_names_and_parameters_fail() {
+        assert_eq!(resolve_adversary("saboteur:0.1"), None);
+        assert_eq!(resolve_adversary("zealots"), None);
+        assert_eq!(resolve_adversary("zealots:1.5"), None);
+        assert_eq!(resolve_adversary("zealots:-0.1"), None);
+        assert_eq!(resolve_adversary("zealots:x"), None);
+        assert_eq!(resolve_adversary("byzantine:2"), None);
+        assert_eq!(resolve_adversary("drop:1.01"), None);
+        assert_eq!(resolve_adversary("drop:"), None);
+        assert_eq!(resolve_adversary("partition:4"), None);
+        assert_eq!(resolve_adversary("partition:9:9"), None);
+        assert_eq!(resolve_adversary("partition:9:4"), None);
+        assert_eq!(resolve_adversary("partition:a:b"), None);
+        assert_eq!(resolve_adversary(""), None);
     }
 
     #[test]

@@ -27,12 +27,15 @@
 //! [`crate::topology_sim::TopologySimulator`] — each is construction sugar
 //! plus method forwarding, no stepping logic of its own.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use bo3_graph::{CsrGraph, CsrTopology, NeighbourSampler, Topology};
 
+use crate::adversary::{self, Adversary, AdversaryCounters};
 use crate::error::{DynamicsError, Result};
 use crate::kernel::{self, PackedSnapshot, ProtocolKind};
 use crate::opinion::{Configuration, Opinion};
@@ -69,6 +72,9 @@ pub struct RunResult {
     pub final_blue_fraction: f64,
     /// The per-round trajectory (present when tracing was enabled).
     pub trace: Option<Trace>,
+    /// What the adversary did, when one was configured
+    /// ([`Engine::with_adversary`]); `None` on honest runs.
+    pub adversary: Option<AdversaryCounters>,
 }
 
 impl RunResult {
@@ -92,6 +98,7 @@ pub struct Engine<T: Topology> {
     stopping: StoppingCondition,
     threads: usize,
     record_trace: bool,
+    adversary: Option<Adversary>,
 }
 
 impl<T: Topology> Engine<T> {
@@ -119,6 +126,7 @@ impl<T: Topology> Engine<T> {
             stopping: StoppingCondition::default(),
             threads: 1,
             record_trace: false,
+            adversary: None,
         })
     }
 
@@ -155,6 +163,25 @@ impl<T: Topology> Engine<T> {
     pub fn with_trace(mut self, record: bool) -> Self {
         self.record_trace = record;
         self
+    }
+
+    /// Attaches an adversary ([`crate::adversary`]) wrapping every update
+    /// step: zealots, Byzantine reporters, message drop and block
+    /// partitions, on either schedule.
+    ///
+    /// The adversary must have been built for this topology's vertex count
+    /// (checked by the run entry points) and only applies to built-in
+    /// protocol kernels — runs with a custom `dyn` protocol report a typed
+    /// error.  Without this call the engine never touches the adversarial
+    /// code paths, so honest runs are bit-identical to previous releases.
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// The configured adversary, if any.
+    pub fn adversary(&self) -> Option<&Adversary> {
+        self.adversary.as_ref()
     }
 
     /// The underlying topology.
@@ -216,6 +243,34 @@ impl<T: Topology> Engine<T> {
         Ok(())
     }
 
+    /// Checks that a configured adversary fits this run: it must have been
+    /// compiled for this topology's vertex count, and it wraps only the
+    /// built-in protocol kernels (a custom `dyn` protocol has no kernel to
+    /// wrap, so the combination is a typed error rather than a silently
+    /// honest run).
+    fn check_adversary(&self, kind: Option<ProtocolKind>) -> Result<()> {
+        let Some(adv) = &self.adversary else {
+            return Ok(());
+        };
+        if adv.n() != self.topo.n() {
+            return Err(DynamicsError::InvalidParameter {
+                reason: format!(
+                    "adversary was built for n = {} but the topology has {} vertices",
+                    adv.n(),
+                    self.topo.n()
+                ),
+            });
+        }
+        if kind.is_none() {
+            return Err(DynamicsError::InvalidParameter {
+                reason: "adversaries wrap the built-in protocol kernels; custom dyn protocols \
+                         are not supported — use a ProtocolSpec / ProtocolKind protocol"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
     /// The materialised graph behind the topology, or the typed error the
     /// `dyn`-protocol paths report on adjacency-free topologies.
     fn dyn_graph(&self) -> Result<&CsrGraph> {
@@ -258,6 +313,11 @@ impl<T: Topology> Engine<T> {
     /// One caller-RNG synchronous round: reads `current`, writes the next
     /// opinions into `next` (cleared and refilled), consuming `rng` over the
     /// whole vertex range in order.
+    ///
+    /// `round` and `dropped` feed the adversary (partition windows, the
+    /// drop-coin stream and the drop tally); honest rounds ignore both.
+    /// Caller-RNG execution is sequential (one work unit), so the
+    /// adversary's stream coordinate is `(stream_seed, round, 0)`.
     #[allow(clippy::too_many_arguments)] // private plumbing: scratch buffers ride along
     fn step_sync_with_rng(
         &self,
@@ -267,6 +327,8 @@ impl<T: Topology> Engine<T> {
         current: &Configuration,
         next: &mut Vec<Opinion>,
         snap: &mut PackedSnapshot,
+        round: u64,
+        dropped: &AtomicU64,
         rng: &mut dyn RngCore,
     ) {
         let prev = current.as_slice();
@@ -274,7 +336,24 @@ impl<T: Topology> Engine<T> {
         if let Some(kind) = kind {
             next.resize(prev.len(), Opinion::Red);
             snap.repack_from(prev);
-            self.dispatch(kind, snap, 0, next, rng);
+            match &self.adversary {
+                None => self.dispatch(kind, snap, 0, next, rng),
+                Some(adv) => {
+                    let mut adv_rng = adv.round_rng(0, round, 0);
+                    adversary::dispatch_chunk_adversarial(
+                        adv,
+                        kind,
+                        &self.topo,
+                        snap,
+                        0,
+                        next,
+                        round,
+                        rng,
+                        &mut adv_rng,
+                        dropped,
+                    );
+                }
+            }
             return;
         }
         let sampler = sampler.expect("dyn-path rounds carry a sampler");
@@ -294,6 +373,7 @@ impl<T: Topology> Engine<T> {
     /// `(master_seed, round, chunk)` work unit via
     /// [`kernel::kernel_chunk_rng`], chunks fanned across the worker pool —
     /// bit-identical at any thread count.
+    #[allow(clippy::too_many_arguments)] // private plumbing: scratch buffers ride along
     fn step_sync_seeded_kernel(
         &self,
         kind: ProtocolKind,
@@ -302,16 +382,39 @@ impl<T: Topology> Engine<T> {
         snap: &mut PackedSnapshot,
         master_seed: u64,
         round: u64,
+        dropped: &AtomicU64,
     ) {
         let prev = current.as_slice();
         next.clear();
         next.resize(prev.len(), Opinion::Red);
         snap.repack_from(prev);
         let snap_ref = &*snap;
-        crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
-            let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
-            self.dispatch(kind, snap_ref, start, out, &mut rng);
-        });
+        match &self.adversary {
+            None => crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+                let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
+                self.dispatch(kind, snap_ref, start, out, &mut rng);
+            }),
+            // The adversarial round keeps the exact same kernel streams and
+            // chunk layout; the adversary's drop coins ride a second,
+            // salted per-(seed, round, chunk) stream, so the round stays
+            // bit-identical at any thread count.
+            Some(adv) => crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+                let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
+                let mut adv_rng = adv.round_rng(master_seed, round, chunk);
+                adversary::dispatch_chunk_adversarial(
+                    adv,
+                    kind,
+                    &self.topo,
+                    snap_ref,
+                    start,
+                    out,
+                    round,
+                    &mut rng,
+                    &mut adv_rng,
+                    dropped,
+                );
+            }),
+        }
     }
 
     /// One seeded synchronous `dyn`-fallback round: the same chunk schedule
@@ -358,8 +461,15 @@ impl<T: Topology> Engine<T> {
         config: &mut Configuration,
         order: &mut Vec<usize>,
         live: &mut PackedSnapshot,
+        round: u64,
+        adv_master: u64,
+        dropped: &AtomicU64,
         rng: &mut dyn RngCore,
     ) {
+        // Identity-refill then shuffle: the buffer's allocation is reused
+        // across rounds (see `AsyncScratch`), but its *contents* must be the
+        // identity permutation before each shuffle — shuffling last round's
+        // order instead would change the pinned seeded permutation.
         order.clear();
         order.extend(0..config.len());
         {
@@ -369,6 +479,37 @@ impl<T: Topology> Engine<T> {
         match kind {
             Some(kind) => {
                 live.repack_from(config.as_slice());
+                if let Some(adv) = &self.adversary {
+                    // Asynchronous rounds are one sequential work unit, so
+                    // the adversary stream mirrors the kernel stream's
+                    // layout: one stream per round at ASYNC_ROUND_CHUNK.
+                    let mut adv_rng = adv.round_rng(adv_master, round, ASYNC_ROUND_CHUNK);
+                    let mut lost = 0u64;
+                    for &v in order.iter() {
+                        if adv.is_zealot(v) {
+                            continue;
+                        }
+                        let new = adversary::update_vertex_adversarial(
+                            adv,
+                            kind,
+                            &self.topo,
+                            live,
+                            v,
+                            round,
+                            rng,
+                            &mut adv_rng,
+                            &mut lost,
+                        );
+                        if live.get(v) != new {
+                            live.set(v, new);
+                            config.set(v, new);
+                        }
+                    }
+                    if lost > 0 {
+                        dropped.fetch_add(lost, Ordering::Relaxed);
+                    }
+                    return;
+                }
                 // The live blue count makes the complete-topology local
                 // majority O(1) per update instead of a Θ(n) row walk; it is
                 // maintained exactly, so counts (and tie coins) match the
@@ -384,6 +525,11 @@ impl<T: Topology> Engine<T> {
                 }
             }
             None => {
+                assert!(
+                    self.adversary.is_none(),
+                    "adversaries wrap the built-in protocol kernels; custom dyn protocols are \
+                     not supported (the run entry points report this as a typed error)"
+                );
                 let protocol = protocol.expect("dyn-path rounds carry a protocol");
                 let sampler = sampler.expect("dyn-path rounds carry a sampler");
                 for &v in order.iter() {
@@ -441,6 +587,7 @@ impl<T: Topology> Engine<T> {
         let kind = protocol.kind();
         let sampler = self.step_sampler(kind);
         let mut snap = PackedSnapshot::all_red(0);
+        let dropped = AtomicU64::new(0);
         self.step_sync_with_rng(
             protocol,
             kind,
@@ -448,6 +595,8 @@ impl<T: Topology> Engine<T> {
             current,
             next,
             &mut snap,
+            0,
+            &dropped,
             rng,
         );
     }
@@ -455,23 +604,46 @@ impl<T: Topology> Engine<T> {
     /// Performs one caller-RNG asynchronous round on the live configuration
     /// (see the module docs); panics like [`Engine::step_synchronous`] when
     /// a custom protocol meets an adjacency-free topology.
+    ///
+    /// Allocates the round's scratch buffers afresh — callers stepping many
+    /// rounds should hold an [`AsyncScratch`] and use
+    /// [`Engine::step_asynchronous_with`] instead, which reuses them.
     pub fn step_asynchronous(
         &self,
         protocol: &dyn Protocol,
         config: &mut Configuration,
         rng: &mut dyn RngCore,
     ) {
+        let mut scratch = AsyncScratch::new();
+        self.step_asynchronous_with(protocol, config, &mut scratch, rng);
+    }
+
+    /// [`Engine::step_asynchronous`] with caller-held scratch: the shuffled
+    /// order buffer and the packed live mirror are reused across rounds
+    /// instead of re-allocated every call.  Buffer reuse never changes the
+    /// output — each round refills the order with the identity permutation
+    /// before shuffling, so the permutation stream is exactly the fresh
+    /// allocation's (the schedule-matrix suite pins this bit-identical).
+    pub fn step_asynchronous_with(
+        &self,
+        protocol: &dyn Protocol,
+        config: &mut Configuration,
+        scratch: &mut AsyncScratch,
+        rng: &mut dyn RngCore,
+    ) {
         let kind = protocol.kind();
         let sampler = self.step_sampler(kind);
-        let mut order = Vec::new();
-        let mut live = PackedSnapshot::all_red(0);
+        let dropped = AtomicU64::new(0);
         self.step_async(
             Some(protocol),
             kind,
             sampler.as_ref(),
             config,
-            &mut order,
-            &mut live,
+            &mut scratch.order,
+            &mut scratch.live,
+            0,
+            0,
+            &dropped,
             rng,
         );
     }
@@ -489,10 +661,17 @@ impl<T: Topology> Engine<T> {
         round: u64,
     ) {
         let mut snap = PackedSnapshot::all_red(0);
+        let dropped = AtomicU64::new(0);
         match protocol.kind() {
-            Some(kind) => {
-                self.step_sync_seeded_kernel(kind, current, next, &mut snap, master_seed, round)
-            }
+            Some(kind) => self.step_sync_seeded_kernel(
+                kind,
+                current,
+                next,
+                &mut snap,
+                master_seed,
+                round,
+                &dropped,
+            ),
             None => {
                 let sampler = self.step_sampler(None).expect("dyn path builds a sampler");
                 self.step_sync_seeded_dyn(protocol, &sampler, current, next, master_seed, round);
@@ -512,7 +691,8 @@ impl<T: Topology> Engine<T> {
         round: u64,
     ) {
         let mut snap = PackedSnapshot::all_red(0);
-        self.step_sync_seeded_kernel(kind, current, next, &mut snap, master_seed, round);
+        let dropped = AtomicU64::new(0);
+        self.step_sync_seeded_kernel(kind, current, next, &mut snap, master_seed, round, &dropped);
     }
 
     // ------------------------------------------------------------------
@@ -530,6 +710,7 @@ impl<T: Topology> Engine<T> {
     ) -> Result<RunResult> {
         self.check_initial(&initial)?;
         let kind = protocol.kind();
+        self.check_adversary(kind)?;
         if let Some(kind) = kind {
             self.check_kind(kind)?;
         }
@@ -541,11 +722,12 @@ impl<T: Topology> Engine<T> {
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
         let mut snap = PackedSnapshot::all_red(0);
         let mut order: Vec<usize> = Vec::new();
-        Ok(drive(
+        let dropped = AtomicU64::new(0);
+        let mut result = drive(
             &self.stopping,
             self.record_trace,
             initial,
-            |config, _round| match self.schedule {
+            |config, round| match self.schedule {
                 Schedule::Synchronous => {
                     self.step_sync_with_rng(
                         protocol,
@@ -554,6 +736,8 @@ impl<T: Topology> Engine<T> {
                         config,
                         &mut scratch,
                         &mut snap,
+                        round as u64,
+                        &dropped,
                         rng,
                     );
                     config.overwrite_from(&scratch);
@@ -566,11 +750,18 @@ impl<T: Topology> Engine<T> {
                         config,
                         &mut order,
                         &mut snap,
+                        round as u64,
+                        0,
+                        &dropped,
                         rng,
                     );
                 }
             },
-        ))
+        );
+        if let Some(adv) = &self.adversary {
+            result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+        }
+        Ok(result)
     }
 
     /// Runs the dynamics with all randomness derived from `master_seed`.
@@ -603,13 +794,15 @@ impl<T: Topology> Engine<T> {
         master_seed: u64,
     ) -> Result<RunResult> {
         self.check_initial(&initial)?;
+        self.check_adversary(Some(kind))?;
         self.check_kind(kind)?;
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
         // The packed snapshot doubles as the async path's live mirror; it is
         // repacked in place each round either way.
         let mut snap = PackedSnapshot::all_red(0);
         let mut order: Vec<usize> = Vec::new();
-        Ok(drive(
+        let dropped = AtomicU64::new(0);
+        let mut result = drive(
             &self.stopping,
             self.record_trace,
             initial,
@@ -622,6 +815,7 @@ impl<T: Topology> Engine<T> {
                         &mut snap,
                         master_seed,
                         round as u64,
+                        &dropped,
                     );
                     config.overwrite_from(&scratch);
                 }
@@ -635,11 +829,18 @@ impl<T: Topology> Engine<T> {
                         config,
                         &mut order,
                         &mut snap,
+                        round as u64,
+                        master_seed,
+                        &dropped,
                         &mut rng,
                     );
                 }
             },
-        ))
+        );
+        if let Some(adv) = &self.adversary {
+            result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+        }
+        Ok(result)
     }
 
     /// The seeded `dyn`-fallback runner: ChaCha8 streams over the same
@@ -651,11 +852,13 @@ impl<T: Topology> Engine<T> {
         master_seed: u64,
     ) -> Result<RunResult> {
         self.check_initial(&initial)?;
+        self.check_adversary(None)?;
         let graph = self.dyn_graph()?;
         let sampler = NeighbourSampler::new_unchecked(graph);
         let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
         let mut snap = PackedSnapshot::all_red(0);
         let mut order: Vec<usize> = Vec::new();
+        let dropped = AtomicU64::new(0);
         Ok(drive(
             &self.stopping,
             self.record_trace,
@@ -682,6 +885,9 @@ impl<T: Topology> Engine<T> {
                         config,
                         &mut order,
                         &mut snap,
+                        round as u64,
+                        0,
+                        &dropped,
                         &mut rng,
                     );
                 }
@@ -702,6 +908,34 @@ impl<'g> Engine<CsrTopology<'g>> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.topology().graph()
+    }
+}
+
+/// Caller-held scratch buffers for repeated asynchronous stepping: the
+/// shuffled vertex order and the packed live mirror, reused across rounds by
+/// [`Engine::step_asynchronous_with`] instead of re-allocated per call.
+///
+/// Reuse is purely an allocation optimisation — each round refills the order
+/// buffer with the identity permutation before shuffling, so the results are
+/// bit-identical to fresh buffers.
+pub struct AsyncScratch {
+    pub(crate) order: Vec<usize>,
+    pub(crate) live: PackedSnapshot,
+}
+
+impl AsyncScratch {
+    /// Creates empty scratch; the first round sizes the buffers.
+    pub fn new() -> Self {
+        AsyncScratch {
+            order: Vec::new(),
+            live: PackedSnapshot::all_red(0),
+        }
+    }
+}
+
+impl Default for AsyncScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -847,6 +1081,7 @@ pub(crate) fn drive(
         initial_blue_fraction,
         final_blue_fraction: config.blue_fraction(),
         trace,
+        adversary: None,
     }
 }
 

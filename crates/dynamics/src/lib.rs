@@ -23,6 +23,9 @@
 //! * [`kernel`] — monomorphized hot-path kernels (bit-packed snapshots,
 //!   batched RNG, static dispatch), generic over the topology, that the
 //!   engine routes built-in protocols through;
+//! * [`adversary`] — composable adversarial wrappers (zealots, Byzantine
+//!   reporters, message drop, block partitions) that the engine threads
+//!   through every kernel, schedule and topology;
 //! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
 //!   statistics the experiments report;
 //! * [`trace`], [`schedule`], [`stopping`], [`config`] — supporting types.
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adversary;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -64,8 +68,11 @@ pub mod trace;
 
 /// Convenient re-exports of the types most callers need.
 pub mod prelude {
+    pub use crate::adversary::{
+        Adversary, AdversaryCounters, AdversarySpec, ADVERSARY_STREAM_SALT,
+    };
     pub use crate::config::ProtocolSpec;
-    pub use crate::engine::{Engine, RunResult, Simulator, ASYNC_ROUND_CHUNK};
+    pub use crate::engine::{AsyncScratch, Engine, RunResult, Simulator, ASYNC_ROUND_CHUNK};
     pub use crate::error::{DynamicsError, Result};
     pub use crate::init::InitialCondition;
     pub use crate::kernel::{kernel_chunk_rng, DynOnly, KernelRng, PackedSnapshot, ProtocolKind};

@@ -33,15 +33,21 @@ use serde::{Deserialize, Serialize};
 
 use bo3_graph::{CsrGraph, CsrTopology, Topology};
 
+use crate::adversary::{Adversary, AdversaryCounters, AdversarySpec};
 use crate::config::ProtocolSpec;
 use crate::engine::Engine;
 use crate::error::Result;
 use crate::init::InitialCondition;
 use crate::opinion::Opinion;
-use crate::parallel::replica_rng;
+use crate::parallel::{replica_rng, stream_id};
 use crate::schedule::Schedule;
 use crate::stats::{ProportionEstimate, Summary};
 use crate::stopping::StoppingCondition;
+
+/// Salt separating the adversary's seed space from the replica streams, so
+/// an adversarial batch shares no randomness with its honest twin beyond the
+/// master seed itself.
+const ADVERSARY_SEED_SALT: u64 = 0xADC0_FFEE_5EED_5A17;
 
 /// Outcome of one Monte-Carlo replica.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +62,8 @@ pub struct ReplicaOutcome {
     pub initial_blue_fraction: f64,
     /// Blue fraction of the final configuration.
     pub final_blue_fraction: f64,
+    /// What the adversary did during this replica (`None` on honest runs).
+    pub adversary: Option<AdversaryCounters>,
 }
 
 /// Aggregate of a Monte-Carlo batch.
@@ -70,6 +78,9 @@ pub struct MonteCarloReport {
     pub red_win: Option<ProportionEstimate>,
     /// Summary of the consensus times over replicas that reached consensus.
     pub rounds_to_consensus: Option<Summary>,
+    /// Adversary counters aggregated across replicas (membership sizes are
+    /// per-run constants, event counts sum); `None` on honest batches.
+    pub adversary: Option<AdversaryCounters>,
 }
 
 impl MonteCarloReport {
@@ -89,11 +100,18 @@ impl MonteCarloReport {
         let red_win = ProportionEstimate::new(red_wins, consensus.len());
         let rounds: Vec<f64> = consensus.iter().map(|o| o.rounds as f64).collect();
         let rounds_to_consensus = Summary::of(&rounds);
+        let mut adversary: Option<AdversaryCounters> = None;
+        for counters in outcomes.iter().filter_map(|o| o.adversary.as_ref()) {
+            adversary
+                .get_or_insert_with(AdversaryCounters::default)
+                .merge(counters);
+        }
         MonteCarloReport {
             outcomes,
             consensus_rate,
             red_win,
             rounds_to_consensus,
+            adversary,
         }
     }
 
@@ -120,6 +138,10 @@ pub struct MonteCarlo {
     pub master_seed: u64,
     /// Number of worker threads (`0` = available parallelism, `1` = sequential).
     pub threads: usize,
+    /// Adversarial mechanisms layered over every replica (empty = honest).
+    /// Membership sets are identical across replicas (the scenario corrupts
+    /// *these* vertices); drop-coin streams vary per replica.
+    pub adversary: Vec<AdversarySpec>,
 }
 
 impl MonteCarlo {
@@ -134,6 +156,7 @@ impl MonteCarlo {
             replicas,
             master_seed,
             threads: 0,
+            adversary: Vec::new(),
         }
     }
 
@@ -246,25 +269,32 @@ impl MonteCarlo {
     ) -> Result<ReplicaOutcome> {
         let mut rng = replica_rng(self.master_seed, replica as u64);
         let initial = self.initial.sample_topology(topo, &mut rng)?;
+        let adversary = self.adversary_for_replica(topo.n(), replica)?;
         let result = if topo.as_graph().is_some() {
             // Graph-backed: the replica stream drives the whole run — the
             // pre-unification materialised pipeline, bit for bit.  Built
             // from a spec, the boxed protocol reports its `ProtocolKind`,
             // so every round still takes the kernel path.
             let protocol = self.protocol.build();
-            Engine::new(topo)?
+            let mut engine = Engine::new(topo)?
                 .with_schedule(self.schedule)
-                .with_stopping(self.stopping)
-                .run(protocol.as_ref(), initial, &mut rng)?
+                .with_stopping(self.stopping);
+            if let Some(adv) = adversary {
+                engine = engine.with_adversary(adv);
+            }
+            engine.run(protocol.as_ref(), initial, &mut rng)?
         } else {
             // Adjacency-free: hand the run a derived master seed so rounds
             // use the chunk-seeded engine streams.
             let run_seed = rng.next_u64();
-            Engine::new(topo)?
+            let mut engine = Engine::new(topo)?
                 .with_schedule(self.schedule)
                 .with_stopping(self.stopping)
-                .with_threads(threads)
-                .run_seeded_kind(self.protocol.kind(), initial, run_seed)?
+                .with_threads(threads);
+            if let Some(adv) = adversary {
+                engine = engine.with_adversary(adv);
+            }
+            engine.run_seeded_kind(self.protocol.kind(), initial, run_seed)?
         };
         Ok(ReplicaOutcome {
             replica,
@@ -272,7 +302,24 @@ impl MonteCarlo {
             rounds: result.rounds,
             initial_blue_fraction: result.initial_blue_fraction,
             final_blue_fraction: result.final_blue_fraction,
+            adversary: result.adversary,
         })
+    }
+
+    /// Compiles the adversary list for one replica.  The membership seed is
+    /// shared by every replica — the scenario corrupts a fixed vertex set —
+    /// while the drop-coin stream seed varies per replica so lossy runs stay
+    /// independent across the batch.
+    fn adversary_for_replica(&self, n: usize, replica: usize) -> Result<Option<Adversary>> {
+        if self.adversary.is_empty() {
+            return Ok(None);
+        }
+        let base = self.master_seed ^ ADVERSARY_SEED_SALT;
+        let membership_seed = stream_id(base, 0, 0);
+        let stream_seed = stream_id(base, replica as u64, 1);
+        Ok(Some(
+            Adversary::build(&self.adversary, n, membership_seed)?.with_stream_seed(stream_seed),
+        ))
     }
 
     /// Runs a single replica (deterministic in `(master_seed, replica)`).
@@ -335,6 +382,7 @@ mod tests {
             replicas: 60,
             master_seed: 5,
             threads: 0,
+            adversary: Vec::new(),
         };
         let report = mc.run(&g).unwrap();
         assert!((report.consensus_rate - 1.0).abs() < 1e-12);
@@ -354,6 +402,7 @@ mod tests {
             replicas: 5,
             master_seed: 1,
             threads: 1,
+            adversary: Vec::new(),
         };
         let report = mc.run(&g).unwrap();
         // One round from a dead heat essentially never reaches consensus.
@@ -415,6 +464,7 @@ mod tests {
             replicas: 3,
             master_seed: 9,
             threads: 1,
+            adversary: Vec::new(),
         };
         let report = mc.run_on_topology(&topo).unwrap();
         assert!((report.consensus_rate - 1.0).abs() < 1e-12);

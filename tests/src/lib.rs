@@ -56,6 +56,7 @@ pub fn mean_consensus_time(
         replicas,
         master_seed: seed,
         threads: 0,
+        adversary: Vec::new(),
     };
     mc.run(graph).expect("monte carlo").mean_rounds()
 }

@@ -60,6 +60,7 @@ fn asynchronous_schedule_still_converges_to_red() {
         replicas: 4,
         master_seed: 4,
         threads: 0,
+        adversary: Vec::new(),
     };
     let report = mc.run(&graph).unwrap();
     assert!((report.consensus_rate - 1.0).abs() < 1e-12);

@@ -116,6 +116,7 @@ fn materialised_reports_are_bit_identical_to_the_pre_redesign_path() {
             replicas,
             master_seed: seed,
             threads,
+            adversary: Vec::new(),
         }
         .run(&graph)
         .unwrap();

@@ -151,6 +151,99 @@ fn degree_ranked_initials_run_on_implicit_sbm_through_the_oracle() {
     }
 }
 
+/// One small instance of every `AdversarySpec` variant.
+fn all_adversaries() -> Vec<AdversarySpec> {
+    vec![
+        AdversarySpec::Zealots { fraction: 0.05 },
+        AdversarySpec::ZealotIds {
+            vertices: vec![0, 7, 31],
+        },
+        AdversarySpec::Byzantine { fraction: 0.05 },
+        AdversarySpec::Drop { q: 0.1 },
+        AdversarySpec::Partition {
+            from_round: 0,
+            until_round: 4,
+            blocks: 2,
+        },
+    ]
+}
+
+#[test]
+fn every_adversary_runs_on_every_spec_variant_under_both_schedules() {
+    // The full AdversarySpec × TopologySpec × Schedule cube through the
+    // Experiment surface — no combination may fork into a rejection or a
+    // missing-counters path.
+    for adversary in all_adversaries() {
+        for spec in all_variants() {
+            for schedule in [Schedule::Synchronous, Schedule::AsynchronousRandomOrder] {
+                let label = format!(
+                    "{} / {} / {}",
+                    adversary.label(),
+                    spec.label(),
+                    schedule.label()
+                );
+                let result = experiment(spec.clone(), schedule)
+                    .stopping(StoppingCondition::fixed_rounds(6))
+                    .adversary(adversary.clone())
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(result.report.outcomes.len(), 3, "{label}");
+                let counters = result
+                    .adversary_counters()
+                    .unwrap_or_else(|| panic!("{label}: no adversary counters"));
+                match &adversary {
+                    AdversarySpec::Zealots { .. } => assert!(counters.zealots > 0, "{label}"),
+                    AdversarySpec::ZealotIds { vertices } => {
+                        assert_eq!(counters.zealots, vertices.len(), "{label}")
+                    }
+                    AdversarySpec::Byzantine { .. } => assert!(counters.byzantine > 0, "{label}"),
+                    AdversarySpec::Drop { .. } => {
+                        assert!(counters.dropped_samples > 0, "{label}")
+                    }
+                    AdversarySpec::Partition { .. } => {
+                        assert!(counters.partition_rounds > 0, "{label}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_experiments_are_reproducible_and_thread_invariant() {
+    // A composed adversary over the matrix's schedules: bit-identical across
+    // repetitions and thread counts, like the honest runs above.
+    for schedule in [Schedule::Synchronous, Schedule::AsynchronousRandomOrder] {
+        let run_with = |threads: usize| {
+            Experiment::on(TopologySpec::ImplicitSbm {
+                n: 9_000,
+                blocks: 2,
+                p_in: 0.5,
+                p_out: 0.4,
+            })
+            .schedule(schedule)
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.12 })
+            .stopping(StoppingCondition::fixed_rounds(4))
+            .adversary(AdversarySpec::Zealots { fraction: 0.02 })
+            .adversary(AdversarySpec::Drop { q: 0.1 })
+            .adversary(AdversarySpec::Partition {
+                from_round: 1,
+                until_round: 3,
+                blocks: 2,
+            })
+            .replicas(2)
+            .seed(7)
+            .threads(threads)
+            .run()
+            .unwrap()
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2), "{}", schedule.label());
+        assert_eq!(one, run_with(8), "{}", schedule.label());
+        assert!(one.adversary_counters().unwrap().dropped_samples > 0);
+    }
+}
+
 #[test]
 fn registry_names_compose_with_the_asynchronous_schedule() {
     // The short-name surface reaches the same unified engine.
