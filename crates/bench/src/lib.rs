@@ -3,7 +3,8 @@
 //! The experiment harness that regenerates every quantitative claim of the
 //! paper (experiments E1–E12 of `DESIGN.md` / `EXPERIMENTS.md`), plus the
 //! scale experiment E14 (million-node Best-of-Three on the implicit
-//! topology layer).
+//! topology layer) and the crash-safe E18 phase-surface campaign (SBM
+//! polarisation thresholds vs mean-field theory, resumable after any kill).
 //!
 //! Each experiment lives in its own module with a single entry point
 //! `run(scale)` returning a [`bo3_core::report::Table`]; the binaries in
@@ -29,6 +30,7 @@ pub mod e11_phase_structure;
 pub mod e12_best_of_k;
 pub mod e14_scale;
 pub mod e15_degree_ranked;
+pub mod e18_phase_surface;
 
 use bo3_core::report::Table;
 

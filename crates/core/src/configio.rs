@@ -58,7 +58,7 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-fn invalid(reason: impl Into<String>) -> CoreError {
+pub(crate) fn invalid(reason: impl Into<String>) -> CoreError {
     CoreError::InvalidConfig {
         reason: reason.into(),
     }
@@ -460,7 +460,7 @@ pub trait FromJson: Sized {
 
 // --- small construction helpers ----------------------------------------
 
-fn obj(fields: Vec<(&str, Json)>) -> Json {
+pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(
         fields
             .into_iter()
@@ -469,46 +469,46 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
-fn unit(tag: &str) -> Json {
+pub(crate) fn unit(tag: &str) -> Json {
     Json::Str(tag.to_string())
 }
 
-fn tagged(tag: &str, payload: Json) -> Json {
+pub(crate) fn tagged(tag: &str, payload: Json) -> Json {
     Json::Obj(vec![(tag.to_string(), payload)])
 }
 
-fn uint(u: usize) -> Json {
+pub(crate) fn uint(u: usize) -> Json {
     Json::UInt(u as u64)
 }
 
-fn float(f: f64) -> Json {
+pub(crate) fn float(f: f64) -> Json {
     Json::Float(f)
 }
 
-fn need<'j>(json: &'j Json, key: &str, ty: &str) -> Result<&'j Json> {
+pub(crate) fn need<'j>(json: &'j Json, key: &str, ty: &str) -> Result<&'j Json> {
     json.get(key)
         .ok_or_else(|| invalid(format!("{ty} is missing field '{key}'")))
 }
 
-fn need_usize(json: &Json, key: &str, ty: &str) -> Result<usize> {
+pub(crate) fn need_usize(json: &Json, key: &str, ty: &str) -> Result<usize> {
     need(json, key, ty)?
         .as_usize()
         .ok_or_else(|| invalid(format!("{ty}.{key} must be a non-negative integer")))
 }
 
-fn need_f64(json: &Json, key: &str, ty: &str) -> Result<f64> {
+pub(crate) fn need_f64(json: &Json, key: &str, ty: &str) -> Result<f64> {
     need(json, key, ty)?
         .as_f64()
         .ok_or_else(|| invalid(format!("{ty}.{key} must be a number")))
 }
 
-fn need_u64(json: &Json, key: &str, ty: &str) -> Result<u64> {
+pub(crate) fn need_u64(json: &Json, key: &str, ty: &str) -> Result<u64> {
     need(json, key, ty)?
         .as_u64()
         .ok_or_else(|| invalid(format!("{ty}.{key} must be a non-negative integer")))
 }
 
-fn payload<'j>(payload: Option<&'j Json>, tag: &str) -> Result<&'j Json> {
+pub(crate) fn payload<'j>(payload: Option<&'j Json>, tag: &str) -> Result<&'j Json> {
     payload.ok_or_else(|| invalid(format!("variant '{tag}' requires a payload object")))
 }
 
@@ -949,7 +949,7 @@ impl FromJson for AdversarySpec {
     fn from_json(json: &Json) -> Result<Self> {
         let (tag, body) = json.as_variant()?;
         let body = payload(body, tag)?;
-        match tag {
+        let spec = match tag {
             "Zealots" => Ok(AdversarySpec::Zealots {
                 fraction: need_f64(body, "fraction", tag)?,
             }),
@@ -977,7 +977,13 @@ impl FromJson for AdversarySpec {
                 blocks: need_usize(body, "blocks", tag)?,
             }),
             other => Err(invalid(format!("unknown AdversarySpec variant '{other}'"))),
-        }
+        }?;
+        // Numeric parameters are validated at parse time, so an
+        // out-of-range fraction in a config file is a typed load error here
+        // rather than a failure deep inside the run.
+        spec.validate()
+            .map_err(|e| invalid(format!("invalid AdversarySpec: {e}")))?;
+        Ok(spec)
     }
 }
 
@@ -1251,6 +1257,41 @@ mod tests {
         assert!(experiment.adversary.is_empty());
         assert!(!experiment.to_json_string().contains("adversary"));
         round_trip(&experiment);
+    }
+
+    #[test]
+    fn out_of_range_adversary_parameters_fail_at_parse_time() {
+        // One case per spelling: the JSON load reports a typed error instead
+        // of accepting a spec that would misbehave deep inside the run.
+        for bad in [
+            "{\"Zealots\":{\"fraction\":1.5}}",
+            "{\"Zealots\":{\"fraction\":-0.1}}",
+            "{\"Byzantine\":{\"fraction\":2.0}}",
+            "{\"Drop\":{\"q\":1.01}}",
+            "{\"Drop\":{\"q\":-0.5}}",
+            "{\"Partition\":{\"from_round\":9,\"until_round\":9,\"blocks\":2}}",
+            "{\"Partition\":{\"from_round\":9,\"until_round\":4,\"blocks\":2}}",
+            "{\"Partition\":{\"from_round\":0,\"until_round\":5,\"blocks\":1}}",
+        ] {
+            let err = AdversarySpec::from_json_str(bad).unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidConfig { .. }),
+                "{bad}: expected InvalidConfig, got {err:?}"
+            );
+        }
+        // In-range parameters still load.
+        assert!(AdversarySpec::from_json_str("{\"Drop\":{\"q\":0.25}}").is_ok());
+        // … and an experiment embedding a bad spec fails as a whole.
+        let doc = "{\"name\":\"bad\",\
+                  \"topology\":{\"ImplicitGnp\":{\"n\":5000,\"p\":0.4}},\
+                  \"protocol\":\"BestOfThree\",\
+                  \"initial\":{\"BernoulliWithBias\":{\"delta\":0.1}},\
+                  \"schedule\":\"Synchronous\",\
+                  \"stopping\":{\"max_rounds\":10000,\"stop_on_consensus\":true,\
+                  \"blue_fraction_floor\":null},\
+                  \"replicas\":8,\"seed\":1,\"threads\":0,\
+                  \"adversary\":[{\"Drop\":{\"q\":7.0}}]}";
+        assert!(Experiment::from_json_str(doc).is_err());
     }
 
     #[test]

@@ -319,7 +319,7 @@ impl Experiment {
     }
 
     /// The whole-graph validations only a materialised graph can afford.
-    fn validate_graph(&self, graph: &CsrGraph) -> Result<()> {
+    pub(crate) fn validate_graph(&self, graph: &CsrGraph) -> Result<()> {
         if graph.num_vertices() == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "the experiment graph is empty".into(),
@@ -336,7 +336,7 @@ impl Experiment {
         Ok(())
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.replicas == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "an experiment needs at least one replica".into(),
@@ -360,7 +360,7 @@ impl Experiment {
     ///   leave the rejection-sampling regime the implicit families support
     ///   (isolated vertices make sampling panic rather than loop) — sparse
     ///   graphs belong on a materialised spec.
-    fn validate_implicit_regime(&self, n: usize) -> Result<()> {
+    pub(crate) fn validate_implicit_regime(&self, n: usize) -> Result<()> {
         if let TopologySpec::ImplicitSbm { blocks, p_out, .. } = &self.topology {
             if *blocks > 1 && *p_out == 0.0 {
                 return Err(CoreError::InvalidConfig {
@@ -391,7 +391,7 @@ impl Experiment {
         Ok(())
     }
 
-    fn monte_carlo(&self) -> MonteCarlo {
+    pub(crate) fn monte_carlo(&self) -> MonteCarlo {
         MonteCarlo {
             protocol: self.protocol,
             initial: self.initial.clone(),

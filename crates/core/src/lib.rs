@@ -15,6 +15,9 @@
 //!   serialisable `TopologySpec` (materialised *or* implicit topology,
 //!   protocol, initial condition, Monte-Carlo budget), run it, and get
 //!   measurements paired with the paper's prediction;
+//! * [`campaign`] — crash-safe grids of experiments: per-cell seeds,
+//!   checkpoint/resume at round boundaries, atomic on-disk artefacts, and
+//!   retry-with-backoff supervision (the phase-surface campaign driver);
 //! * [`configio`] — self-contained JSON (de)serialisation for experiment
 //!   configurations, including the pre-redesign `graph:` layout;
 //! * [`duality`] — verify the time-reversal duality between the forward
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod campaign;
 pub mod configio;
 pub mod duality;
 pub mod error;
@@ -65,6 +69,10 @@ pub use bo3_theory;
 
 /// One-stop imports for examples, benches and integration tests.
 pub mod prelude {
+    pub use crate::campaign::{
+        atomic_write, cell_seed, is_polarised, Campaign, CampaignManifest, CampaignOutcome,
+        CampaignRunner, CellResult, CellStatus, RetryPolicy, CAMPAIGN_MANIFEST_VERSION,
+    };
     pub use crate::configio::{FromJson, ToJson};
     pub use crate::duality::{DualityCheck, DualityReport};
     pub use crate::error::{CoreError, Result};

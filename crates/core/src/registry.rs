@@ -11,6 +11,8 @@ use bo3_dynamics::prelude::{AdversarySpec, ProtocolSpec, TieRule};
 use bo3_graph::generators::GraphSpec;
 use bo3_graph::TopologySpec;
 
+use crate::error::CoreError;
+
 /// All protocol names understood by [`resolve_protocol`].
 pub const PROTOCOL_NAMES: &[&str] = &[
     "voter",
@@ -169,31 +171,61 @@ pub const ADVERSARY_NAMES: &[&str] = &[
 /// * `partition:<a>:<b>` — sever inter-block messages for rounds `[a, b)`
 ///   with the default two blocks (`a < b`).
 ///
-/// Returns `None` for unknown names or unparsable / out-of-range parameters.
+/// Returns `None` for unknown names or unparsable / out-of-range parameters —
+/// sugar over [`resolve_adversary_checked`], which says *why*.
 pub fn resolve_adversary(name: &str) -> Option<AdversarySpec> {
+    resolve_adversary_checked(name).ok()
+}
+
+/// [`resolve_adversary`] with typed errors: unknown families, malformed
+/// numbers and out-of-range parameters (`zealots`/`byzantine`/`drop` outside
+/// `[0, 1]`, empty or inverted partition windows) each surface as
+/// [`CoreError::InvalidConfig`] naming the offending input.
+pub fn resolve_adversary_checked(name: &str) -> Result<AdversarySpec, CoreError> {
+    let bad = |reason: String| CoreError::InvalidConfig { reason };
     let lower = name.trim().to_ascii_lowercase();
-    let (family, params) = lower.split_once(':')?;
+    let (family, params) = lower
+        .split_once(':')
+        .ok_or_else(|| bad(format!("adversary '{name}' has no ':<params>' suffix")))?;
+    let fraction = |what: &str| -> Result<f64, CoreError> {
+        params.parse().map_err(|_| {
+            bad(format!(
+                "adversary '{name}': {what} '{params}' is not a number"
+            ))
+        })
+    };
     let spec = match family {
         "zealots" => AdversarySpec::Zealots {
-            fraction: params.parse().ok()?,
+            fraction: fraction("fraction")?,
         },
         "byzantine" => AdversarySpec::Byzantine {
-            fraction: params.parse().ok()?,
+            fraction: fraction("fraction")?,
         },
-        "drop" => AdversarySpec::Drop {
-            q: params.parse().ok()?,
-        },
+        "drop" => AdversarySpec::Drop { q: fraction("q")? },
         "partition" => {
-            let (from, until) = params.split_once(':')?;
+            let (from, until) = params.split_once(':').ok_or_else(|| {
+                bad(format!(
+                    "adversary '{name}': expected partition:<from>:<until>"
+                ))
+            })?;
+            let round = |label: &str, text: &str| {
+                text.parse::<u64>().map_err(|_| {
+                    bad(format!(
+                        "adversary '{name}': {label} '{text}' is not a round index"
+                    ))
+                })
+            };
             AdversarySpec::Partition {
-                from_round: from.parse().ok()?,
-                until_round: until.parse().ok()?,
+                from_round: round("from_round", from)?,
+                until_round: round("until_round", until)?,
                 blocks: 2,
             }
         }
-        _ => return None,
+        other => return Err(bad(format!("unknown adversary family '{other}'"))),
     };
-    spec.validate().ok().map(|()| spec)
+    spec.validate()
+        .map_err(|e| bad(format!("adversary '{name}': {e}")))?;
+    Ok(spec)
 }
 
 /// The protocols compared in experiments E3 and E5, with their display names.
@@ -381,6 +413,33 @@ mod tests {
         assert_eq!(resolve_adversary("partition:9:4"), None);
         assert_eq!(resolve_adversary("partition:a:b"), None);
         assert_eq!(resolve_adversary(""), None);
+    }
+
+    #[test]
+    fn checked_resolution_names_the_offence_per_spelling() {
+        let reason = |name: &str| match resolve_adversary_checked(name) {
+            Err(CoreError::InvalidConfig { reason }) => reason,
+            other => panic!("{name}: expected InvalidConfig, got {other:?}"),
+        };
+        // Out-of-range numerics, one test per spelling.
+        assert!(reason("zealots:1.5").contains("zealots:1.5"));
+        assert!(reason("zealots:-0.1").contains("zealots:-0.1"));
+        assert!(reason("byzantine:2").contains("byzantine:2"));
+        assert!(reason("drop:1.01").contains("drop:1.01"));
+        // Malformed numbers name the offending token.
+        assert!(reason("zealots:x").contains("'x'"));
+        assert!(reason("drop:").contains("not a number"));
+        // Degenerate / inverted / negative partition windows.
+        assert!(reason("partition:9:9").contains("partition:9:9"));
+        assert!(reason("partition:9:4").contains("partition:9:4"));
+        assert!(reason("partition:-1:4").contains("not a round index"));
+        assert!(reason("partition:4").contains("partition:<from>:<until>"));
+        // Unknown families and missing parameters.
+        assert!(reason("saboteur:0.1").contains("saboteur"));
+        assert!(reason("zealots").contains("no ':<params>'"));
+        // Valid spellings still resolve.
+        assert!(resolve_adversary_checked("drop:0.25").is_ok());
+        assert!(resolve_adversary_checked("partition:0:5").is_ok());
     }
 
     #[test]

@@ -36,6 +36,9 @@ use serde::{Deserialize, Serialize};
 use bo3_graph::{CsrGraph, CsrTopology, NeighbourSampler, Topology};
 
 use crate::adversary::{self, Adversary, AdversaryCounters};
+use crate::checkpoint::{
+    pack_opinions, RunBudget, RunCheckpoint, RunOutcome, RUN_CHECKPOINT_VERSION,
+};
 use crate::error::{DynamicsError, Result};
 use crate::kernel::{self, PackedSnapshot, ProtocolKind};
 use crate::opinion::{Configuration, Opinion};
@@ -793,20 +796,121 @@ impl<T: Topology> Engine<T> {
         initial: Configuration,
         master_seed: u64,
     ) -> Result<RunResult> {
+        match self.run_seeded_kind_budgeted(kind, initial, master_seed, &RunBudget::unlimited())? {
+            RunOutcome::Completed(result) => Ok(result),
+            RunOutcome::Paused(_) => unreachable!("an unlimited budget never pauses"),
+        }
+    }
+
+    /// [`Engine::run_seeded_kind`] under a [`RunBudget`]: the run yields at
+    /// the round boundary where the budget first fires and hands back a
+    /// [`RunCheckpoint`]; [`Engine::resume`] continues it **bit-identically**
+    /// to an uninterrupted run, on either schedule, at any thread count (see
+    /// [`crate::checkpoint`] for why the checkpoint needs no RNG state).
+    pub fn run_seeded_kind_budgeted(
+        &self,
+        kind: ProtocolKind,
+        initial: Configuration,
+        master_seed: u64,
+        budget: &RunBudget,
+    ) -> Result<RunOutcome> {
         self.check_initial(&initial)?;
         self.check_adversary(Some(kind))?;
         self.check_kind(kind)?;
-        let mut scratch: Vec<Opinion> = Vec::with_capacity(initial.len());
+        let state = DriveState::fresh(initial, self.record_trace);
+        self.seeded_kind_slice(kind, master_seed, state, 0, budget)
+    }
+
+    /// Continues a paused seeded run from its checkpoint, under a new
+    /// budget.  The engine must be configured identically to the one that
+    /// produced the checkpoint (same topology size, schedule, stopping
+    /// condition and trace flag) — mismatches are typed errors, never silent
+    /// divergence.  The thread count is free to differ: seeded rounds are
+    /// bit-identical at any thread count.
+    pub fn resume(&self, checkpoint: &RunCheckpoint, budget: &RunBudget) -> Result<RunOutcome> {
+        let bad = |reason: String| DynamicsError::InvalidParameter { reason };
+        if checkpoint.version != RUN_CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "checkpoint version {} is not the supported version {RUN_CHECKPOINT_VERSION}",
+                checkpoint.version
+            )));
+        }
+        if checkpoint.n != self.topo.n() {
+            return Err(bad(format!(
+                "checkpoint was taken at n = {} but the topology has {} vertices",
+                checkpoint.n,
+                self.topo.n()
+            )));
+        }
+        if checkpoint.schedule != self.schedule {
+            return Err(bad(format!(
+                "checkpoint was taken under the {} schedule but the engine runs {}",
+                checkpoint.schedule.label(),
+                self.schedule.label()
+            )));
+        }
+        if checkpoint.stopping != self.stopping {
+            return Err(bad(
+                "checkpoint stopping condition differs from the engine's".into(),
+            ));
+        }
+        if checkpoint.trace.is_some() != self.record_trace {
+            return Err(bad(format!(
+                "checkpoint {} a partial trace but the engine has tracing {}",
+                if checkpoint.trace.is_some() {
+                    "carries"
+                } else {
+                    "lacks"
+                },
+                if self.record_trace { "on" } else { "off" }
+            )));
+        }
+        self.check_adversary(Some(checkpoint.protocol))?;
+        self.check_kind(checkpoint.protocol)?;
+        let state = DriveState {
+            config: checkpoint.configuration()?,
+            rounds: checkpoint.round,
+            trace: checkpoint.trace.clone(),
+            initial_blue_fraction: checkpoint.initial_blue_fraction,
+        };
+        self.seeded_kind_slice(
+            checkpoint.protocol,
+            checkpoint.master_seed,
+            state,
+            checkpoint.dropped_samples,
+            budget,
+        )
+    }
+
+    /// [`Engine::resume`] with an unlimited budget: runs the checkpoint to
+    /// completion.
+    pub fn resume_to_end(&self, checkpoint: &RunCheckpoint) -> Result<RunResult> {
+        match self.resume(checkpoint, &RunBudget::unlimited())? {
+            RunOutcome::Completed(result) => Ok(result),
+            RunOutcome::Paused(_) => unreachable!("an unlimited budget never pauses"),
+        }
+    }
+
+    /// The one seeded-kernel slice driver behind [`Engine::run_seeded_kind`],
+    /// [`Engine::run_seeded_kind_budgeted`] and [`Engine::resume`]: drives
+    /// rounds (both schedules) until the stopping condition or the budget
+    /// fires, then assembles the result or captures the checkpoint.
+    fn seeded_kind_slice(
+        &self,
+        kind: ProtocolKind,
+        master_seed: u64,
+        state: DriveState,
+        prior_dropped: u64,
+        budget: &RunBudget,
+    ) -> Result<RunOutcome> {
+        let mut scratch: Vec<Opinion> = Vec::with_capacity(state.config.len());
         // The packed snapshot doubles as the async path's live mirror; it is
         // repacked in place each round either way.
         let mut snap = PackedSnapshot::all_red(0);
         let mut order: Vec<usize> = Vec::new();
-        let dropped = AtomicU64::new(0);
-        let mut result = drive(
-            &self.stopping,
-            self.record_trace,
-            initial,
-            |config, round| match self.schedule {
+        let dropped = AtomicU64::new(prior_dropped);
+        let outcome = drive_budgeted(&self.stopping, budget, state, |config, round| {
+            match self.schedule {
                 Schedule::Synchronous => {
                     self.step_sync_seeded_kernel(
                         kind,
@@ -835,12 +939,29 @@ impl<T: Topology> Engine<T> {
                         &mut rng,
                     );
                 }
-            },
-        );
-        if let Some(adv) = &self.adversary {
-            result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+            }
+        });
+        match outcome {
+            DriveOutcome::Done(mut result) => {
+                if let Some(adv) = &self.adversary {
+                    result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+                }
+                Ok(RunOutcome::Completed(result))
+            }
+            DriveOutcome::Paused(state) => Ok(RunOutcome::Paused(Box::new(RunCheckpoint {
+                version: RUN_CHECKPOINT_VERSION,
+                protocol: kind,
+                schedule: self.schedule,
+                stopping: self.stopping,
+                master_seed,
+                round: state.rounds,
+                n: state.config.len(),
+                opinion_words: pack_opinions(state.config.as_slice()),
+                initial_blue_fraction: state.initial_blue_fraction,
+                dropped_samples: dropped.into_inner(),
+                trace: state.trace,
+            }))),
         }
-        Ok(result)
     }
 
     /// The seeded `dyn`-fallback runner: ChaCha8 streams over the same
@@ -1041,47 +1162,101 @@ impl<'g> Simulator<'g> {
     }
 }
 
-/// The shared run driver: applies `round_fn` until `stopping` fires,
-/// recording the trace and assembling the [`RunResult`].
+/// In-flight state of a (possibly sliced) run: what [`drive_budgeted`]
+/// threads from slice to slice, and what a [`RunCheckpoint`] captures.
+pub(crate) struct DriveState {
+    pub(crate) config: Configuration,
+    pub(crate) rounds: usize,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) initial_blue_fraction: f64,
+}
+
+impl DriveState {
+    /// Round-0 state of a fresh run (records the trace's round 0).
+    pub(crate) fn fresh(initial: Configuration, record_trace: bool) -> Self {
+        let initial_blue_fraction = initial.blue_fraction();
+        let mut trace = if record_trace {
+            Some(Trace::new())
+        } else {
+            None
+        };
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &initial);
+        }
+        DriveState {
+            config: initial,
+            rounds: 0,
+            trace,
+            initial_blue_fraction,
+        }
+    }
+}
+
+/// What one [`drive_budgeted`] call produced.
+pub(crate) enum DriveOutcome {
+    /// The stopping condition fired.
+    Done(RunResult),
+    /// The budget fired at a round boundary; the state is ready to continue.
+    Paused(DriveState),
+}
+
+/// The shared run driver: applies `round_fn` until `stopping` or the budget
+/// fires, recording the trace and assembling the [`RunResult`].
 ///
 /// Every runner goes through this single loop, so stopping, trace and
 /// bookkeeping semantics cannot drift between schedules or execution modes
-/// (the bit-identical determinism contract depends on that).
+/// (the bit-identical determinism contract depends on that).  The budget is
+/// checked *after* the stopping condition at each round boundary — these are
+/// the yield points — so a run whose stopping condition fires within the
+/// slice completes rather than pausing, and pausing never observes a
+/// half-applied round.
+pub(crate) fn drive_budgeted(
+    stopping: &StoppingCondition,
+    budget: &RunBudget,
+    mut state: DriveState,
+    mut round_fn: impl FnMut(&mut Configuration, usize),
+) -> DriveOutcome {
+    let mut slice_rounds = 0usize;
+    loop {
+        if let Some(reason) = stopping.should_stop(&state.config, state.rounds) {
+            return DriveOutcome::Done(RunResult {
+                stop_reason: reason,
+                winner: reason.winner(),
+                rounds: state.rounds,
+                initial_blue_fraction: state.initial_blue_fraction,
+                final_blue_fraction: state.config.blue_fraction(),
+                trace: state.trace,
+                adversary: None,
+            });
+        }
+        if budget.should_pause(slice_rounds) {
+            return DriveOutcome::Paused(state);
+        }
+        round_fn(&mut state.config, state.rounds);
+        state.rounds += 1;
+        slice_rounds += 1;
+        if let Some(t) = state.trace.as_mut() {
+            t.record(state.rounds, &state.config);
+        }
+    }
+}
+
+/// [`drive_budgeted`] with an unlimited budget — the unbudgeted runners'
+/// entry point.
 pub(crate) fn drive(
     stopping: &StoppingCondition,
     record_trace: bool,
     initial: Configuration,
-    mut round_fn: impl FnMut(&mut Configuration, usize),
+    round_fn: impl FnMut(&mut Configuration, usize),
 ) -> RunResult {
-    let initial_blue_fraction = initial.blue_fraction();
-    let mut config = initial;
-    let mut trace = if record_trace {
-        Some(Trace::new())
-    } else {
-        None
-    };
-    if let Some(t) = trace.as_mut() {
-        t.record(0, &config);
-    }
-    let mut rounds = 0usize;
-    let stop_reason = loop {
-        if let Some(reason) = stopping.should_stop(&config, rounds) {
-            break reason;
-        }
-        round_fn(&mut config, rounds);
-        rounds += 1;
-        if let Some(t) = trace.as_mut() {
-            t.record(rounds, &config);
-        }
-    };
-    RunResult {
-        stop_reason,
-        winner: stop_reason.winner(),
-        rounds,
-        initial_blue_fraction,
-        final_blue_fraction: config.blue_fraction(),
-        trace,
-        adversary: None,
+    match drive_budgeted(
+        stopping,
+        &RunBudget::unlimited(),
+        DriveState::fresh(initial, record_trace),
+        round_fn,
+    ) {
+        DriveOutcome::Done(result) => result,
+        DriveOutcome::Paused(_) => unreachable!("an unlimited budget never pauses"),
     }
 }
 

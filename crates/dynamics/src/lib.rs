@@ -26,6 +26,9 @@
 //! * [`adversary`] — composable adversarial wrappers (zealots, Byzantine
 //!   reporters, message drop, block partitions) that the engine threads
 //!   through every kernel, schedule and topology;
+//! * [`checkpoint`] — cancellable, checkpointable execution: budgeted runs
+//!   pause at round boundaries into a typed [`checkpoint::RunCheckpoint`]
+//!   and resume bit-identically;
 //! * [`montecarlo`] / [`stats`] — repeated-run drivers and the summary
 //!   statistics the experiments report;
 //! * [`trace`], [`schedule`], [`stopping`], [`config`] — supporting types.
@@ -51,6 +54,7 @@
 #![deny(unsafe_code)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -71,12 +75,19 @@ pub mod prelude {
     pub use crate::adversary::{
         Adversary, AdversaryCounters, AdversarySpec, ADVERSARY_STREAM_SALT,
     };
+    pub use crate::checkpoint::{
+        pack_opinions, unpack_opinions, RunBudget, RunCheckpoint, RunOutcome,
+        RUN_CHECKPOINT_VERSION,
+    };
     pub use crate::config::ProtocolSpec;
     pub use crate::engine::{AsyncScratch, Engine, RunResult, Simulator, ASYNC_ROUND_CHUNK};
     pub use crate::error::{DynamicsError, Result};
     pub use crate::init::InitialCondition;
     pub use crate::kernel::{kernel_chunk_rng, DynOnly, KernelRng, PackedSnapshot, ProtocolKind};
-    pub use crate::montecarlo::{MonteCarlo, MonteCarloReport, ReplicaOutcome};
+    pub use crate::montecarlo::{
+        BatchCheckpoint, BatchOutcome, MonteCarlo, MonteCarloReport, ReplicaOutcome,
+        BATCH_CHECKPOINT_VERSION,
+    };
     pub use crate::opinion::{Configuration, Opinion};
     pub use crate::parallel::ParallelSimulator;
     pub use crate::protocol::{

@@ -34,9 +34,10 @@ use serde::{Deserialize, Serialize};
 use bo3_graph::{CsrGraph, CsrTopology, Topology};
 
 use crate::adversary::{Adversary, AdversaryCounters, AdversarySpec};
+use crate::checkpoint::{RunBudget, RunCheckpoint, RunOutcome};
 use crate::config::ProtocolSpec;
-use crate::engine::Engine;
-use crate::error::Result;
+use crate::engine::{Engine, RunResult};
+use crate::error::{DynamicsError, Result};
 use crate::init::InitialCondition;
 use crate::opinion::Opinion;
 use crate::parallel::{replica_rng, stream_id};
@@ -48,6 +49,57 @@ use crate::stopping::StoppingCondition;
 /// an adversarial batch shares no randomness with its honest twin beyond the
 /// master seed itself.
 const ADVERSARY_SEED_SALT: u64 = 0xADC0_FFEE_5EED_5A17;
+
+/// Version of the [`BatchCheckpoint`] layout (bumped on incompatible change;
+/// the golden snapshot test in `bo3_core::campaign` pins the JSON form).
+pub const BATCH_CHECKPOINT_VERSION: u32 = 1;
+
+/// A paused Monte-Carlo batch: the replicas already finished plus, when the
+/// pause hit mid-run, the current replica's [`RunCheckpoint`].
+///
+/// Replica seeding is a pure function of `(master_seed, replica)`, so the
+/// checkpoint needs no RNG state: resuming re-derives the next replica's
+/// streams exactly as an uninterrupted batch would.  Produced and consumed by
+/// [`MonteCarlo::run_on_topology_resumable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCheckpoint {
+    /// Layout version ([`BATCH_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Outcomes of the replicas that finished, in replica order — the next
+    /// replica to run is `completed.len()`.
+    pub completed: Vec<ReplicaOutcome>,
+    /// The current replica's mid-run checkpoint, when the pause hit inside a
+    /// seeded run (`None` when paused at a replica boundary, which is the
+    /// only pause point for graph-backed caller-RNG replicas).
+    pub current: Option<RunCheckpoint>,
+}
+
+/// The outcome of a resumable batch: finished, or paused at a yield point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// Every replica ran; here is the aggregate report.
+    Completed(MonteCarloReport),
+    /// The budget fired first; resume from this checkpoint.
+    Paused(BatchCheckpoint),
+}
+
+impl BatchOutcome {
+    /// The completed report, if the batch finished.
+    pub fn completed(self) -> Option<MonteCarloReport> {
+        match self {
+            BatchOutcome::Completed(report) => Some(report),
+            BatchOutcome::Paused(_) => None,
+        }
+    }
+
+    /// The checkpoint, if the batch paused.
+    pub fn paused(self) -> Option<BatchCheckpoint> {
+        match self {
+            BatchOutcome::Completed(_) => None,
+            BatchOutcome::Paused(checkpoint) => Some(checkpoint),
+        }
+    }
+}
 
 /// Outcome of one Monte-Carlo replica.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,6 +244,124 @@ impl MonteCarlo {
         })
     }
 
+    /// Runs the batch under a [`RunBudget`], resumable from a
+    /// [`BatchCheckpoint`] — the crash-safe flavour of
+    /// [`MonteCarlo::run_on_topology`].
+    ///
+    /// Replicas execute sequentially (in replica order) so the pause point is
+    /// well defined; the worker budget parallelises round chunks *within*
+    /// seeded replicas instead, and the engine is bit-identical at any thread
+    /// count, so the report matches [`MonteCarlo::run_on_topology`] exactly.
+    /// Seeded (adjacency-free) replicas pause at any round boundary and hand
+    /// back a mid-run [`RunCheckpoint`]; graph-backed caller-RNG replicas run
+    /// atomically and the batch pauses at the next replica boundary.
+    pub fn run_on_topology_resumable<T: Topology>(
+        &self,
+        topo: &T,
+        resume: Option<BatchCheckpoint>,
+        budget: &RunBudget,
+    ) -> Result<BatchOutcome> {
+        let (mut outcomes, mut current) = match resume {
+            Some(ckpt) => {
+                if ckpt.version != BATCH_CHECKPOINT_VERSION {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!(
+                            "batch checkpoint version {} does not match {}",
+                            ckpt.version, BATCH_CHECKPOINT_VERSION
+                        ),
+                    });
+                }
+                if ckpt.completed.len() > self.replicas {
+                    return Err(DynamicsError::InvalidParameter {
+                        reason: format!(
+                            "batch checkpoint holds {} completed replicas but the batch has {}",
+                            ckpt.completed.len(),
+                            self.replicas
+                        ),
+                    });
+                }
+                (ckpt.completed, ckpt.current)
+            }
+            None => (Vec::new(), None),
+        };
+        let graph_backed = topo.as_graph().is_some();
+        if graph_backed && current.is_some() {
+            return Err(DynamicsError::InvalidParameter {
+                reason: "graph-backed replicas run caller-RNG and are never checkpointed mid-run"
+                    .to_string(),
+            });
+        }
+        let threads = self.resolved_threads();
+        while outcomes.len() < self.replicas {
+            let replica = outcomes.len();
+            // A replica boundary is a yield point too: starting a fresh
+            // replica after the flag flipped would waste the whole run.
+            if current.is_none() && budget.interrupted() {
+                return Ok(BatchOutcome::Paused(BatchCheckpoint {
+                    version: BATCH_CHECKPOINT_VERSION,
+                    completed: outcomes,
+                    current: None,
+                }));
+            }
+            if graph_backed {
+                outcomes.push(self.replica_on_topology(topo, replica, 1)?);
+                continue;
+            }
+            let adversary = self.adversary_for_replica(topo.n(), replica)?;
+            let mut engine = Engine::new(topo)?
+                .with_schedule(self.schedule)
+                .with_stopping(self.stopping)
+                .with_threads(threads);
+            if let Some(adv) = adversary {
+                engine = engine.with_adversary(adv);
+            }
+            let outcome = match current.take() {
+                Some(ckpt) => engine.resume(&ckpt, budget)?,
+                None => {
+                    // Exactly `replica_on_topology`'s seeded derivation: the
+                    // replica stream samples the initial condition, then one
+                    // drawn word becomes the run's master seed.
+                    let mut rng = replica_rng(self.master_seed, replica as u64);
+                    let initial = self.initial.sample_topology(topo, &mut rng)?;
+                    let run_seed = rng.next_u64();
+                    engine.run_seeded_kind_budgeted(
+                        self.protocol.kind(),
+                        initial,
+                        run_seed,
+                        budget,
+                    )?
+                }
+            };
+            match outcome {
+                RunOutcome::Completed(result) => {
+                    outcomes.push(Self::outcome_of(replica, result));
+                }
+                RunOutcome::Paused(ckpt) => {
+                    return Ok(BatchOutcome::Paused(BatchCheckpoint {
+                        version: BATCH_CHECKPOINT_VERSION,
+                        completed: outcomes,
+                        current: Some(*ckpt),
+                    }));
+                }
+            }
+        }
+        Ok(BatchOutcome::Completed(MonteCarloReport::from_outcomes(
+            outcomes,
+        )))
+    }
+
+    /// Summarises a finished run as the replica's outcome row.
+    fn outcome_of(replica: usize, result: RunResult) -> ReplicaOutcome {
+        ReplicaOutcome {
+            replica,
+            winner: result.winner,
+            rounds: result.rounds,
+            initial_blue_fraction: result.initial_blue_fraction,
+            final_blue_fraction: result.final_blue_fraction,
+            adversary: result.adversary,
+        }
+    }
+
     /// The worker budget with `0` resolved to the available parallelism.
     fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
@@ -296,14 +466,7 @@ impl MonteCarlo {
             }
             engine.run_seeded_kind(self.protocol.kind(), initial, run_seed)?
         };
-        Ok(ReplicaOutcome {
-            replica,
-            winner: result.winner,
-            rounds: result.rounds,
-            initial_blue_fraction: result.initial_blue_fraction,
-            final_blue_fraction: result.final_blue_fraction,
-            adversary: result.adversary,
-        })
+        Ok(Self::outcome_of(replica, result))
     }
 
     /// Compiles the adversary list for one replica.  The membership seed is
@@ -471,6 +634,115 @@ mod tests {
         for o in &report.outcomes {
             assert!((o.initial_blue_fraction - 0.3).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn resumable_batch_with_unlimited_budget_matches_plain_run() {
+        use crate::checkpoint::RunBudget;
+
+        let topo = bo3_graph::ImplicitGnp::new(1_200, 0.4, 21).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.1, 6, 13);
+        mc.threads = 1;
+        let plain = mc.run_on_topology(&topo).unwrap();
+        let resumable = mc
+            .run_on_topology_resumable(&topo, None, &RunBudget::unlimited())
+            .unwrap()
+            .completed()
+            .expect("unlimited budget completes");
+        assert_eq!(plain, resumable);
+    }
+
+    #[test]
+    fn resumable_batch_paused_every_round_matches_plain_run() {
+        use crate::checkpoint::RunBudget;
+
+        let topo = bo3_graph::ImplicitGnp::new(900, 0.5, 33).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.08, 4, 17);
+        mc.threads = 2;
+        let plain = mc.run_on_topology(&topo).unwrap();
+
+        // Drive the whole batch one round at a time through checkpoints.
+        let budget = RunBudget::rounds_per_slice(1);
+        let mut resume = None;
+        let mut slices = 0usize;
+        let report = loop {
+            match mc
+                .run_on_topology_resumable(&topo, resume.take(), &budget)
+                .unwrap()
+            {
+                BatchOutcome::Completed(report) => break report,
+                BatchOutcome::Paused(ckpt) => {
+                    resume = Some(ckpt);
+                    slices += 1;
+                    assert!(slices < 100_000, "batch failed to make progress");
+                }
+            }
+        };
+        assert_eq!(plain, report);
+        assert!(slices > 0, "one-round slices must actually pause");
+    }
+
+    #[test]
+    fn graph_backed_resumable_batch_pauses_at_replica_boundaries() {
+        use crate::checkpoint::RunBudget;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let g = generators::complete(120);
+        let topo = bo3_graph::CsrTopology::new(&g);
+        let mut mc = MonteCarlo::best_of_three(0.12, 5, 29);
+        mc.threads = 1;
+        let plain = mc.run_on_topology(&topo).unwrap();
+
+        // A pre-set cancel flag pauses before the first replica …
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = RunBudget::unlimited().with_cancel_flag(flag.clone());
+        let paused = mc
+            .run_on_topology_resumable(&topo, None, &budget)
+            .unwrap()
+            .paused()
+            .expect("pre-set flag pauses immediately");
+        assert!(paused.completed.is_empty());
+        assert!(
+            paused.current.is_none(),
+            "graph-backed pauses carry no mid-run state"
+        );
+
+        // … and resuming with the flag cleared matches the plain run.
+        flag.store(false, Ordering::SeqCst);
+        let report = mc
+            .run_on_topology_resumable(&topo, Some(paused), &budget)
+            .unwrap()
+            .completed()
+            .expect("cleared flag completes");
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn resumable_batch_rejects_bad_checkpoints() {
+        use crate::checkpoint::RunBudget;
+
+        let topo = bo3_graph::ImplicitGnp::new(500, 0.5, 3).unwrap();
+        let mc = MonteCarlo::best_of_three(0.1, 2, 7);
+
+        let wrong_version = BatchCheckpoint {
+            version: BATCH_CHECKPOINT_VERSION + 1,
+            completed: Vec::new(),
+            current: None,
+        };
+        assert!(mc
+            .run_on_topology_resumable(&topo, Some(wrong_version), &RunBudget::unlimited())
+            .is_err());
+
+        let plain = mc.run_on_topology(&topo).unwrap();
+        let too_many = BatchCheckpoint {
+            version: BATCH_CHECKPOINT_VERSION,
+            completed: [plain.outcomes.clone(), plain.outcomes.clone()].concat(),
+            current: None,
+        };
+        assert!(mc
+            .run_on_topology_resumable(&topo, Some(too_many), &RunBudget::unlimited())
+            .is_err());
     }
 
     #[test]

@@ -51,6 +51,13 @@ impl Trace {
         }
     }
 
+    /// Rebuilds a trace from already-summarised rounds — the checkpoint
+    /// deserialisation path (`bo3_core::campaign` stores traces as record
+    /// arrays).
+    pub fn from_records(records: Vec<RoundRecord>) -> Self {
+        Trace { records }
+    }
+
     /// Records the state of `config` as round `round`.
     pub fn record(&mut self, round: usize, config: &Configuration) {
         self.records.push(RoundRecord::of(round, config));

@@ -18,7 +18,10 @@
 //!   collision-level tail bounds, and the resulting `o(1/n)` bound on a blue
 //!   root;
 //! * [`prediction`] — everything composed into a per-parameter-point
-//!   [`prediction::Prediction`] consumed by the benchmark harness.
+//!   [`prediction::Prediction`] consumed by the benchmark harness;
+//! * [`sbm`] — mean-field polarisation thresholds on two-block SBMs
+//!   (Shimizu–Shiraga): the pitchfork at `p_in/p_out = 5` that the e18
+//!   phase-surface campaign measures against.
 //!
 //! ```
 //! use bo3_theory::prediction::predict;
@@ -36,3 +39,4 @@ pub mod bounds;
 pub mod phases;
 pub mod prediction;
 pub mod recursion;
+pub mod sbm;

@@ -1,0 +1,270 @@
+//! Mean-field polarisation thresholds for Best-of-Three on two-block SBMs.
+//!
+//! Shimizu–Shiraga (*Phase Transitions of Best-of-Two and Best-of-Three on
+//! Stochastic Block Models*) show that on a dense two-block SBM the
+//! community structure survives the dynamics exactly when the blocks are
+//! sufficiently assortative.  In the mean-field (n → ∞) limit the per-block
+//! blue fractions `(b₀, b₁)` evolve as
+//!
+//! ```text
+//! bᵢ' = g(α·bᵢ + (1 − α)·b_{1−i})        g(x) = 3x² − 2x³
+//! ```
+//!
+//! where `α = p_in / (p_in + p_out)` is the weight a vertex puts on its own
+//! block (both blocks have size `n/2`, so edge probabilities convert to
+//! sampling weights directly) and `g` is the Best-of-Three response —
+//! the probability that the majority of three i.i.d. `Bernoulli(x)` draws
+//! is blue ([`crate::binomial`] derives it).
+//!
+//! **The threshold.**  On the anti-symmetric manifold `b₁ = 1 − b₀` (one
+//! block leaning blue, the mirror block leaning red — the polarised shape)
+//! the map reduces to one dimension: `b' = g(α·b + (1 − α)(1 − b))`.  The
+//! symmetric fixed point `b = 1/2` has derivative `g'(1/2)·(2α − 1) =
+//! (3/2)(2α − 1)`, so it destabilises — a pitchfork bifurcation to a
+//! polarised pair of fixed points — exactly when
+//!
+//! ```text
+//! α* = 5/6,   i.e.   (p_in/p_out)* = α*/(1 − α*) = 5.
+//! ```
+//!
+//! Below the threshold every disagreement decays on the manifold; above it
+//! a polarised pair of fixed points `(b*, 1 − b*)` exists.  The generic
+//! form for any smooth response with slope `s = g'(1/2)` is
+//! `ratio* = (s + 1)/(s − 1)` ([`polarisation_threshold_ratio`]),
+//! recovering `ratio* = 5` for Best-of-Three (`s = 3/2`) and predicting no
+//! finite threshold for the voter model (`s = 1`: never polarises).
+//!
+//! **Two thresholds, not one.**  The pitchfork at ratio 5 governs the
+//! *balanced* system (global blue fraction pinned at 1/2 — the
+//! anti-symmetric manifold).  Off the manifold the symmetric (consensus)
+//! direction at the unbiased point has multiplier `g'(1/2) = 3/2 > 1`, and
+//! at the polarised fixed point the full 2-D Jacobian is
+//! `g'(u*)·[[α, 1−α], [1−α, α]]` with `u* = 1/2 + (2α−1)m*` (using
+//! `g'(1/2 + x) = 3/2 − 6x²` and the fixed-point amplitude
+//! `m*² = (3k/2 − 1)/(2k³)`, `k = 2α − 1`), whose symmetric eigenvalue
+//! `g'(u*)` drops below 1 exactly when `k > 3/4`, i.e.
+//!
+//! ```text
+//! α** = 7/8,   (p_in/p_out)** = 7.
+//! ```
+//!
+//! Between ratios 5 and 7 polarisation exists but is unstable to global
+//! bias — a finite-`n` run with `δ > 0` decays to consensus, while a
+//! balanced run stays split (metastably).  Above 7 the polarised profile
+//! is locally stable outright.  The e18 phase-surface campaign measures
+//! where the observed threshold sits between these two predictions across
+//! `δ` at `n = 10⁶`.
+
+use crate::binomial::best_of_three_blue;
+
+/// The Best-of-Three response `g(x) = 3x² − 2x³`: the probability that the
+/// majority of three i.i.d. `Bernoulli(x)` samples is a success.
+pub fn best_of_three_response(x: f64) -> f64 {
+    best_of_three_blue(x)
+}
+
+/// Slope of the Best-of-Three response at the unbiased point,
+/// `g'(1/2) = 3/2`.
+pub const BEST_OF_THREE_SLOPE_AT_HALF: f64 = 1.5;
+
+/// Own-block sampling weight `α = p_in/(p_in + p_out) = ratio/(ratio + 1)`
+/// on an equal-block two-community SBM, as a function of the assortativity
+/// ratio `p_in/p_out`.
+pub fn own_block_weight(ratio: f64) -> f64 {
+    ratio / (ratio + 1.0)
+}
+
+/// The critical own-block weight `α* = 5/6`: the pitchfork point where
+/// `g'(1/2)·(2α − 1) = 1` for the Best-of-Three slope `g'(1/2) = 3/2`.
+pub fn critical_alpha() -> f64 {
+    5.0 / 6.0
+}
+
+/// The critical assortativity ratio `(p_in/p_out)* = α*/(1 − α*) = 5` for
+/// Best-of-Three on the two-block SBM — the mean-field polarisation
+/// threshold the e18 campaign measures against.
+pub fn critical_ratio() -> f64 {
+    polarisation_threshold_ratio(BEST_OF_THREE_SLOPE_AT_HALF)
+}
+
+/// The polarisation threshold `(p_in/p_out)* = (s + 1)/(s − 1)` for any
+/// smooth quasi-majority response with slope `s = g'(1/2) > 1` at the
+/// unbiased point.  Returns `+∞` for `s ≤ 1` (a voter-like response never
+/// sustains polarisation).
+pub fn polarisation_threshold_ratio(slope: f64) -> f64 {
+    if slope <= 1.0 {
+        f64::INFINITY
+    } else {
+        (slope + 1.0) / (slope - 1.0)
+    }
+}
+
+/// The ratio `(p_in/p_out)** = 7` above which the polarised fixed point is
+/// stable in the *full* two-block mean field (both eigen-directions), not
+/// just on the balanced manifold — `α** = 7/8`, from `g'(u*) = 1` at the
+/// fixed-point amplitude (see the module docs).  Between
+/// [`critical_ratio`] and this, polarisation is metastable: it persists
+/// only while the global blue fraction stays at 1/2.
+pub fn stable_polarisation_ratio() -> f64 {
+    7.0
+}
+
+/// One step of the balanced (anti-symmetric manifold) system: the global
+/// blue fraction is pinned at 1/2 and only the block imbalance evolves,
+/// `b' = g(α·b + (1 − α)(1 − b))` with block 1 at `1 − b` by construction.
+/// This is the 1-D map whose pitchfork sits at [`critical_alpha`].
+pub fn balanced_step(alpha: f64, b: f64) -> f64 {
+    best_of_three_response(alpha * b + (1.0 - alpha) * (1.0 - b))
+}
+
+/// Iterates [`balanced_step`] from `b` and reports whether the balanced
+/// system settles away from the symmetric point (`|b − 1/2| > 1e-6` after
+/// convergence) — polarisation under a pinned global blue fraction.
+pub fn balanced_polarises(alpha: f64, b: f64, max_rounds: usize) -> bool {
+    let mut b = b;
+    for _ in 0..max_rounds {
+        let next = balanced_step(alpha, b);
+        let step = (next - b).abs();
+        b = next;
+        if step < 1e-12 {
+            break;
+        }
+    }
+    (b - 0.5).abs() > 1e-6
+}
+
+/// One mean-field step of the two-block system: maps the per-block blue
+/// fractions `(b₀, b₁)` forward under own-block weight `alpha`.
+pub fn mean_field_step(alpha: f64, b0: f64, b1: f64) -> (f64, f64) {
+    (
+        best_of_three_response(alpha * b0 + (1.0 - alpha) * b1),
+        best_of_three_response(alpha * b1 + (1.0 - alpha) * b0),
+    )
+}
+
+/// Iterates the mean-field system from `(b0, b1)` and reports whether it
+/// settles on a polarised profile (the blocks disagree in the limit) rather
+/// than a consensus.
+///
+/// The trajectory is declared polarised when it converges (step change
+/// below `1e-12`) to a point with `|b₀ − b₁| > 1e-6`, and consensual when
+/// it converges with the blocks (essentially) agreeing near 0 or 1.
+pub fn mean_field_polarises(alpha: f64, b0: f64, b1: f64, max_rounds: usize) -> bool {
+    let (mut b0, mut b1) = (b0, b1);
+    for _ in 0..max_rounds {
+        let (n0, n1) = mean_field_step(alpha, b0, b1);
+        let step = (n0 - b0).abs().max((n1 - b1).abs());
+        b0 = n0;
+        b1 = n1;
+        if step < 1e-12 {
+            break;
+        }
+    }
+    (b0 - b1).abs() > 1e-6
+}
+
+/// The smallest assortativity ratio (on a fine scan) at which a
+/// prefix-placed start — every blue vertex in block 0, i.e.
+/// `(b₀, b₁) = (1 − 2δ, 0)` for global blue fraction `(1 − 2δ)/2 = 1/2 − δ`
+/// — stays polarised in the mean field.
+///
+/// A `δ > 0` start is globally red-leaning, so the relevant prediction is
+/// the full-stability threshold [`stable_polarisation_ratio`] (= 7), not
+/// the balanced pitchfork at 5; the numeric threshold sits at or above it
+/// and grows with `δ`.  Returns `None` when no ratio up to `max_ratio`
+/// polarises (for `δ ≥ 1/4` the favoured block's effective input never
+/// exceeds 1/2, so none does).
+pub fn prefix_threshold_ratio(delta: f64, max_ratio: f64, step: f64) -> Option<f64> {
+    let b0 = 1.0 - 2.0 * delta;
+    let mut ratio = 1.0;
+    while ratio <= max_ratio {
+        if mean_field_polarises(own_block_weight(ratio), b0, 0.0, 100_000) {
+            return Some(ratio);
+        }
+        ratio += step;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_matches_the_cubic_and_its_slope() {
+        for x in [0.0, 0.1, 0.35, 0.5, 0.8, 1.0] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((best_of_three_response(x) - expect).abs() < 1e-12, "{x}");
+        }
+        // Central-difference slope at 1/2 matches the constant.
+        let h = 1e-6;
+        let slope = (best_of_three_response(0.5 + h) - best_of_three_response(0.5 - h)) / (2.0 * h);
+        assert!((slope - BEST_OF_THREE_SLOPE_AT_HALF).abs() < 1e-6);
+    }
+
+    #[test]
+    fn critical_point_closed_forms_agree() {
+        assert!((critical_alpha() - 5.0 / 6.0).abs() < 1e-15);
+        assert!((critical_ratio() - 5.0).abs() < 1e-12);
+        // α* and ratio* describe the same point.
+        assert!((own_block_weight(critical_ratio()) - critical_alpha()).abs() < 1e-12);
+        // Generic formula sanity: s = 3 (steeper) thresholds lower.
+        assert!((polarisation_threshold_ratio(3.0) - 2.0).abs() < 1e-12);
+        assert_eq!(polarisation_threshold_ratio(1.0), f64::INFINITY);
+        assert_eq!(polarisation_threshold_ratio(0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn balanced_pitchfork_sits_exactly_at_ratio_five() {
+        // On the balanced manifold a tiny block imbalance dies below the
+        // threshold and settles on a split profile above it.
+        for (ratio, polarises) in [(3.0, false), (4.9, false), (5.1, true), (8.0, true)] {
+            assert_eq!(
+                balanced_polarises(own_block_weight(ratio), 0.5 + 1e-3, 200_000),
+                polarises,
+                "ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_system_needs_ratio_seven_for_stable_polarisation() {
+        // A near-balanced but slightly red-leaning polarised start: between
+        // ratios 5 and 7 the consensus direction wins (metastable window);
+        // above 7 the polarised fixed point is stable outright.
+        for (ratio, polarises) in [(6.0, false), (8.0, true), (20.0, true)] {
+            assert_eq!(
+                mean_field_polarises(own_block_weight(ratio), 0.9, 0.05, 200_000),
+                polarises,
+                "ratio {ratio}"
+            );
+        }
+        assert!((stable_polarisation_ratio() - 7.0).abs() < 1e-15);
+        // And well below the pitchfork even a fully polarised start
+        // collapses to consensus.
+        assert!(!mean_field_polarises(
+            own_block_weight(2.0),
+            0.9,
+            0.0,
+            200_000
+        ));
+    }
+
+    #[test]
+    fn prefix_start_threshold_sits_between_the_two_predictions_or_above() {
+        // δ = 0.05: prefix placement gives (b₀, b₁) = (0.9, 0) — strongly
+        // community-correlated but red-leaning, so its threshold lands at or
+        // above the full-stability ratio 7, well above the pitchfork at 5.
+        let t = prefix_threshold_ratio(0.05, 40.0, 0.1).expect("threshold exists");
+        assert!(t >= critical_ratio() && t < 20.0, "threshold {t}");
+        assert!(t >= stable_polarisation_ratio() - 0.2, "threshold {t}");
+        // A weaker correlation (larger δ) needs at least as much
+        // assortativity …
+        let t_weak = prefix_threshold_ratio(0.10, 40.0, 0.1).expect("threshold exists");
+        assert!(t_weak >= t, "{t_weak} < {t}");
+        // … and with half the vertices blue in block 0 only (δ = 0.25) the
+        // block's effective input never exceeds 1/2, so no assortativity
+        // sustains it.
+        assert_eq!(prefix_threshold_ratio(0.25, 40.0, 0.1), None);
+    }
+}
