@@ -110,6 +110,23 @@ fn write_snapshot() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
     println!("snapshot ({path}):\n{json}");
+
+    // Observed replay: the same seeded round with a MetricsObserver
+    // installed must be bit-identical to the plain run — the observer
+    // reads the simulation, never the other way round — and its registry
+    // snapshot lands next to the BENCH file.
+    let observed = Engine::on_graph(&graph)
+        .expect("engine")
+        .with_observer(MetricsObserver::new());
+    let (mut plain, mut watched) = (Vec::new(), Vec::new());
+    sim.step_seeded(&BestOfThree::new(), &init, &mut plain, SEED, 0);
+    observed.step_seeded(&BestOfThree::new(), &init, &mut watched, SEED, 0);
+    assert_eq!(plain, watched, "observer must not perturb the round");
+    bo3_bench::obsprobe::write_metrics_snapshot(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_kernels.json"),
+        "e13_kernel_throughput",
+        &observed.observer().registry().snapshot_json(),
+    );
 }
 
 criterion_group!(benches, bench);

@@ -71,7 +71,7 @@ fn write_snapshot() {
             "    {{\"scenario\": \"{}\", \"n\": {}, \"topology_bytes\": {}, \
              \"csr_equivalent_bytes\": {}, \"rounds\": {}, \"stop\": \"{}\", \
              \"final_blue_fraction\": {:.6}, \"wall_seconds\": {:.3}, \
-             \"updates_per_sec\": {:.0}}}",
+             \"updates_per_sec\": {:.0}, \"sampler_tries_per_draw\": {}}}",
             r.label,
             r.n,
             r.topology_bytes,
@@ -81,6 +81,7 @@ fn write_snapshot() {
             r.final_blue_fraction,
             r.wall_seconds,
             r.updates_per_sec,
+            bo3_bench::obsprobe::json_opt(r.tries_per_draw),
         ));
     }
     let json = format!(
@@ -92,6 +93,23 @@ fn write_snapshot() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
     std::fs::write(path, &json).expect("write BENCH_scale.json");
     println!("snapshot ({path}):\n{json}");
+
+    // The observer-registry snapshot of a metered probe over the headline
+    // G(n, p) topology lands next to the BENCH file (schema-checked by the
+    // CI scale-smoke job).
+    let probe = bo3_bench::obsprobe::probe_spec(
+        &TopologySpec::ImplicitGnp {
+            n: if quick_mode() { 100_000 } else { 1_000_000 },
+            p: 0.5,
+        },
+        SEED,
+        2,
+    );
+    bo3_bench::obsprobe::write_metrics_snapshot(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_scale.json"),
+        "e14_scale",
+        &probe.snapshot_json,
+    );
 
     // The acceptance gate for the subsystem: a full million-vertex implicit
     // run must reach red consensus with a topology footprint that is

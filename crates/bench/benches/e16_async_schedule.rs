@@ -106,18 +106,35 @@ fn write_snapshot() {
         "million-vertex implicit G(n, 1/2) must reach red consensus under both schedules"
     );
     let ratio = async_ups / sync_ups;
+    // One metered probe pins the G(n, 1/2) rejection sampler's try rate —
+    // the schedule doesn't change the sampler, so one figure covers both.
+    let probe = bo3_bench::obsprobe::probe_spec(
+        &TopologySpec::ImplicitGnp {
+            n: SNAPSHOT_N,
+            p: P,
+        },
+        SEED,
+        1,
+    );
+    let tries_per_draw = bo3_bench::obsprobe::json_opt(probe.tries_per_draw());
     // The vendored serde has no serializer, so the JSON is written by hand.
     let json = format!(
         "{{\n  \"experiment\": \"e16_async_schedule\",\n  \"protocol\": \"best-of-3\",\n  \
          \"topology\": \"implicit_gnp\",\n  \"n\": {SNAPSHOT_N},\n  \"p\": {P},\n  \
          \"quick_mode\": {quick},\n  \"sync_rounds\": {sync_rounds},\n  \
          \"async_rounds\": {async_rounds},\n  \"sync_updates_per_sec\": {sync_ups:.0},\n  \
-         \"async_updates_per_sec\": {async_ups:.0},\n  \"async_over_sync\": {ratio:.3}\n}}\n",
+         \"async_updates_per_sec\": {async_ups:.0},\n  \"async_over_sync\": {ratio:.3},\n  \
+         \"sampler_tries_per_draw\": {tries_per_draw}\n}}\n",
         quick = quick_mode(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_async.json");
     std::fs::write(path, &json).expect("write BENCH_async.json");
     println!("snapshot ({path}):\n{json}");
+    bo3_bench::obsprobe::write_metrics_snapshot(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_async.json"),
+        "e16_async_schedule",
+        &probe.snapshot_json,
+    );
 }
 
 criterion_group!(benches, bench);

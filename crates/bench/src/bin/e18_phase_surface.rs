@@ -4,7 +4,7 @@
 //! Usage:
 //! ```text
 //! cargo run --release -p bo3-bench --bin e18_phase_surface -- \
-//!     [--scale quick|paper] [--dir <campaign-dir>] [--slice <rounds>]
+//!     [--scale quick|paper] [--dir <campaign-dir>] [--slice <rounds>] [--status]
 //! ```
 //!
 //! `E18_QUICK=1` forces the quick grid whatever `--scale` says (CI uses
@@ -14,6 +14,10 @@
 //! Ctrl-C (or SIGTERM) and the current cell is checkpointed at the next
 //! round boundary; re-running the same command resumes where it stopped and
 //! produces byte-identical artefacts.
+//!
+//! `--status` prints the grid's progress (per-cell status, attempts,
+//! resumes, accumulated wall time) from `manifest.json` and exits without
+//! touching the campaign — safe to run while another process drives it.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,10 +67,11 @@ mod signals {
     pub fn install() {}
 }
 
-fn parse_args() -> (Scale, PathBuf, usize) {
+fn parse_args() -> (Scale, PathBuf, usize, bool) {
     let mut scale = Scale::Quick;
     let mut dir = PathBuf::from("e18_campaign");
     let mut slice = 64usize;
+    let mut status = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,17 +90,33 @@ fn parse_args() -> (Scale, PathBuf, usize) {
                     slice = v.parse().unwrap_or(slice);
                 }
             }
+            "--status" => status = true,
             other => eprintln!("ignoring unknown argument '{other}'"),
         }
     }
     if std::env::var("E18_QUICK").as_deref() == Ok("1") {
         scale = Scale::Quick;
     }
-    (scale, dir, slice)
+    (scale, dir, slice, status)
 }
 
 fn main() {
-    let (scale, dir, slice) = parse_args();
+    let (scale, dir, slice, status_only) = parse_args();
+    if status_only {
+        // Read-only: report grid progress from the manifest and exit
+        // without creating, locking or writing anything.
+        match e18::status(scale, &dir) {
+            Ok(status) => {
+                println!("{}", status.table().to_pretty_string());
+                println!("{}", status.summary());
+            }
+            Err(e) => {
+                eprintln!("status failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let cancel = CANCEL
         .get_or_init(|| Arc::new(AtomicBool::new(false)))
         .clone();

@@ -61,6 +61,10 @@ pub struct ScenarioResult {
     pub wall_seconds: f64,
     /// Sustained vertex updates per second (`n · rounds / wall`).
     pub updates_per_sec: f64,
+    /// Mean rejection-sampler tries per accepted neighbour draw, measured
+    /// by a short metered probe on the same topology (`None` when the
+    /// topology runs the unmetered CSR kernel path).
+    pub tries_per_draw: Option<f64>,
 }
 
 impl ScenarioResult {
@@ -92,6 +96,9 @@ pub fn run_consensus(
     let expected_degree = spec
         .expected_degree()
         .expect("E14 runs implicit topologies, whose mean degree is closed-form");
+    // One metered round pins the sampler's try rate (a property of the
+    // topology, not of run length) before the unobserved timed run.
+    let tries_per_draw = crate::obsprobe::probe_spec(&spec, seed, 1).tries_per_draw();
     let experiment = Experiment::on(spec)
         .named(format!("E14/{label}"))
         .protocol(ProtocolSpec::BestOfThree)
@@ -132,6 +139,7 @@ pub fn run_consensus(
         } else {
             0.0
         },
+        tries_per_draw,
     }
 }
 
@@ -215,6 +223,7 @@ pub fn results_table(title: &str, results: &[ScenarioResult]) -> Table {
             "blue_end",
             "wall_s",
             "updates/s",
+            "tries/draw",
         ],
     );
     for r in results {
@@ -228,6 +237,7 @@ pub fn results_table(title: &str, results: &[ScenarioResult]) -> Table {
             format!("{:.4}", r.final_blue_fraction),
             format!("{:.2}", r.wall_seconds),
             format!("{:.0}", r.updates_per_sec),
+            fmt_opt_f64(r.tries_per_draw),
         ]);
     }
     table

@@ -454,6 +454,130 @@ pub fn run_campaign(
     }
 }
 
+/// One row of the read-only `--status` view: a cell's manifest state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusRow {
+    /// Cell index within the grid.
+    pub index: usize,
+    /// The cell experiment's name.
+    pub name: String,
+    /// Status label: `"pending"`, `"in-flight"`, `"done"` or `"skipped"`.
+    pub status: &'static str,
+    /// Attempts started so far (manifest v2 meta).
+    pub attempts: u32,
+    /// Checkpoint resumes so far.
+    pub resumes: u32,
+    /// Accumulated wall time driving the cell, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Grid progress assembled from `manifest.json` without touching the
+/// campaign: no directory is created, no file is written, no cell runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStatus {
+    /// Cells never started.
+    pub pending: usize,
+    /// Cells started but not finished (what a kill leaves behind).
+    pub in_flight: usize,
+    /// Cells completed.
+    pub done: usize,
+    /// Cells abandoned after the retry budget.
+    pub skipped: usize,
+    /// Per-cell rows, in grid order.
+    pub rows: Vec<StatusRow>,
+}
+
+impl CampaignStatus {
+    /// Total cells in the grid.
+    pub fn total(&self) -> usize {
+        self.pending + self.in_flight + self.done + self.skipped
+    }
+
+    /// Accumulated wall time across every cell, in milliseconds.
+    pub fn total_wall_ms(&self) -> u64 {
+        self.rows.iter().map(|r| r.wall_ms).sum()
+    }
+
+    /// One-line progress summary for the binary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} done, {} in flight, {} pending, {} skipped — {:.1}s wall so far",
+            self.done,
+            self.total(),
+            self.in_flight,
+            self.pending,
+            self.skipped,
+            self.total_wall_ms() as f64 / 1000.0
+        )
+    }
+
+    /// The per-cell progress table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "E18 campaign status",
+            &["cell", "name", "status", "attempts", "resumes", "wall_ms"],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                r.index.to_string(),
+                r.name.clone(),
+                r.status.to_string(),
+                r.attempts.to_string(),
+                r.resumes.to_string(),
+                r.wall_ms.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Reads the campaign's grid progress from `dir` (read-only — safe to run
+/// while another process drives the campaign, thanks to the atomic-write
+/// discipline: `manifest.json` is always whole).  A directory with no
+/// manifest reports every cell pending.
+pub fn status(scale: Scale, dir: &std::path::Path) -> Result<CampaignStatus> {
+    let params = params(scale);
+    status_of(build_campaign("e18/phase-surface", &params), dir)
+}
+
+/// [`status`] for an explicit campaign — the testable core (the surface
+/// campaign is just one caller).
+pub fn status_of(campaign: Campaign, dir: &std::path::Path) -> Result<CampaignStatus> {
+    let runner = CampaignRunner::new(campaign, dir);
+    let manifest = runner.load_manifest()?;
+    let mut counts = [0usize; 4];
+    let rows = manifest
+        .statuses
+        .iter()
+        .zip(&manifest.cells)
+        .enumerate()
+        .map(|(index, (status, meta))| {
+            let (slot, label) = match status {
+                CellStatus::Pending => (0, "pending"),
+                CellStatus::InFlight { .. } => (1, "in-flight"),
+                CellStatus::Done => (2, "done"),
+                CellStatus::Skipped { .. } => (3, "skipped"),
+            };
+            counts[slot] += 1;
+            StatusRow {
+                index,
+                name: runner.campaign().cells[index].name.clone(),
+                status: label,
+                attempts: meta.attempts,
+                resumes: meta.resumes,
+                wall_ms: meta.wall_ms,
+            }
+        })
+        .collect();
+    Ok(CampaignStatus {
+        pending: counts[0],
+        in_flight: counts[1],
+        done: counts[2],
+        skipped: counts[3],
+        rows,
+    })
+}
+
 /// Runs the campaign in a scale-named subdirectory of `target/` and
 /// returns the threshold table — the uninterruptible entry point used by
 /// `run(scale)`/tests; the binary drives `run_campaign` directly so it can
@@ -629,6 +753,34 @@ mod tests {
         let paused = run_campaign(Scale::Quick, &dir, cancel, 8).unwrap();
         assert!(paused.is_none());
         assert!(!dir.join("BENCH_surface.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_reports_pending_before_and_done_after_a_run() {
+        let dir = temp_dir("status");
+        let params = tiny_params();
+
+        // Before anything runs: no manifest, every cell pending, and the
+        // read is genuinely read-only (the directory stays absent).
+        let fresh = status_of(build_campaign("e18/tiny", &params), &dir).unwrap();
+        assert_eq!(fresh.pending, 8);
+        assert_eq!((fresh.done, fresh.in_flight, fresh.skipped), (0, 0, 0));
+        assert!(!dir.exists(), "--status must not create the directory");
+
+        run_tiny(&dir);
+        let manifest_bytes = std::fs::read(dir.join("manifest.json")).unwrap();
+        let after = status_of(build_campaign("e18/tiny", &params), &dir).unwrap();
+        assert_eq!(after.done, 8);
+        assert_eq!(after.total(), 8);
+        assert!(after.rows.iter().all(|r| r.attempts >= 1));
+        assert!(after.summary().starts_with("8/8 done"));
+        assert_eq!(after.table().num_rows(), 8);
+        // Still read-only after the campaign completed.
+        assert_eq!(
+            std::fs::read(dir.join("manifest.json")).unwrap(),
+            manifest_bytes
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -22,24 +22,42 @@
 //!    [`CellStatus::Skipped`] — graceful degradation, never a crashed
 //!    campaign.
 //!
-//! # On-disk layout (all JSON, version 1)
+//! # On-disk layout (all JSON; manifest version 2)
 //!
 //! ```text
-//! <dir>/manifest.json        CampaignManifest — per-cell statuses
+//! <dir>/manifest.json        CampaignManifest — per-cell statuses + meta
 //! <dir>/cell_0007.json       CellResult — summary of a Done cell
 //! <dir>/cell_0007.ckpt.json  BatchCheckpoint — mid-flight state (deleted
 //!                            when the cell completes)
+//! <dir>/metrics.json         MetricsRegistry JSON snapshot (observability)
+//! <dir>/metrics.prom         The same registry as Prometheus text
+//! <dir>/events.jsonl         Structured runner event log
 //! ```
 //!
-//! The JSON forms are pinned by golden v1 snapshot tests below; future
-//! format changes must bump the version constants and show up as compat
-//! breaks here.
+//! The JSON forms are pinned by golden snapshot tests below; future format
+//! changes must bump the version constants and show up as compat breaks
+//! here.  Version-1 manifests (no per-cell meta) are read transparently —
+//! the missing meta is zero-filled and the manifest upgrades to v2 on its
+//! next write.
+//!
+//! # Observability
+//!
+//! The runner records campaign-level metrics (cells done/skipped, attempts,
+//! retries, resumes-from-checkpoint, checkpoint flush latency, per-cell
+//! wall time) into a [`bo3_obs::MetricsRegistry`] and a structured
+//! [`bo3_obs::EventLog`]; both are flushed atomically to the artefacts
+//! above whenever `run` returns.  Deterministic outputs (cell results) are
+//! unaffected: wall-clock lives only in the manifest meta and the metrics
+//! artefacts, which are exactly the files the byte-diff CI jobs exclude.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use bo3_obs::{Counter, EventLog, Field, Gauge, Log2Histogram, MetricsRegistry};
 
 use bo3_dynamics::checkpoint::{RunBudget, RunCheckpoint, RUN_CHECKPOINT_VERSION};
 use bo3_dynamics::montecarlo::{BatchCheckpoint, BatchOutcome, BATCH_CHECKPOINT_VERSION};
@@ -57,8 +75,10 @@ use crate::experiment::Experiment;
 use bo3_graph::Topology;
 
 /// Version of the [`CampaignManifest`] layout (bumped on incompatible
-/// change; the golden snapshot tests below pin the JSON form).
-pub const CAMPAIGN_MANIFEST_VERSION: u32 = 1;
+/// change; the golden snapshot tests below pin the JSON form).  Version 2
+/// added the per-cell [`CellMeta`] array; version-1 manifests still parse
+/// (meta zero-filled).
+pub const CAMPAIGN_MANIFEST_VERSION: u32 = 2;
 
 /// Derives the seed of cell `index` from the campaign seed — a splitmix64
 /// mix, so neighbouring cells share no stream structure and a cell re-run
@@ -128,6 +148,24 @@ pub enum CellStatus {
     },
 }
 
+/// Observability meta recorded per cell in the manifest (v2): attempt /
+/// resume counts and accumulated wall time.
+///
+/// Unlike the statuses and cell results, none of this participates in the
+/// determinism story — wall time differs run to run by nature, which is why
+/// `manifest.json` is deliberately **not** part of the byte-diffed artefact
+/// set (the cell result files are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellMeta {
+    /// Attempts started (first try included), across every process that
+    /// touched this directory.
+    pub attempts: u32,
+    /// Times the cell was resumed from an on-disk checkpoint.
+    pub resumes: u32,
+    /// Accumulated wall time spent driving this cell, in milliseconds.
+    pub wall_ms: u64,
+}
+
 /// The campaign's persistent ledger: one status per cell plus enough
 /// identity to refuse resuming into a different campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +178,9 @@ pub struct CampaignManifest {
     pub campaign_seed: u64,
     /// Per-cell statuses, indexed like `Campaign::cells`.
     pub statuses: Vec<CellStatus>,
+    /// Per-cell observability meta, indexed like `statuses` (zero-filled
+    /// when a version-1 manifest is read).
+    pub cells: Vec<CellMeta>,
 }
 
 /// Deterministic summary of one completed cell — exactly the quantities the
@@ -257,6 +298,7 @@ impl Campaign {
             name: self.name.clone(),
             campaign_seed: self.seed,
             statuses: vec![CellStatus::Pending; self.cells.len()],
+            cells: vec![CellMeta::default(); self.cells.len()],
         }
     }
 }
@@ -271,13 +313,79 @@ pub enum CampaignOutcome {
     Interrupted,
 }
 
+/// The runner's campaign-wide instruments: registered once at construction,
+/// hammered (relaxed atomics only) while cells run, flushed to
+/// `metrics.json` / `metrics.prom` / `events.jsonl` whenever a run returns.
+struct RunnerMetrics {
+    registry: MetricsRegistry,
+    events: EventLog,
+    cells_total: Arc<Gauge>,
+    cells_done: Arc<Counter>,
+    cells_skipped: Arc<Counter>,
+    attempts_total: Arc<Counter>,
+    retries_total: Arc<Counter>,
+    resumes_total: Arc<Counter>,
+    checkpoint_flush_ns: Arc<Log2Histogram>,
+    cell_wall_ns: Arc<Log2Histogram>,
+}
+
+impl RunnerMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let cells_total = registry.gauge("campaign_cells", "Cells in the campaign grid");
+        let cells_done = registry.counter("campaign_cells_done_total", "Cells completed");
+        let cells_skipped = registry.counter(
+            "campaign_cells_skipped_total",
+            "Cells abandoned after the retry budget",
+        );
+        let attempts_total =
+            registry.counter("campaign_cell_attempts_total", "Cell attempts started");
+        let retries_total = registry.counter(
+            "campaign_cell_retries_total",
+            "Failed cell attempts that were retried with backoff",
+        );
+        let resumes_total = registry.counter(
+            "campaign_cell_resumes_total",
+            "Cell attempts resumed from an on-disk checkpoint",
+        );
+        let checkpoint_flush_ns = registry.histogram(
+            "campaign_checkpoint_flush_ns",
+            "Checkpoint atomic-write latency (ns)",
+        );
+        let cell_wall_ns =
+            registry.histogram("campaign_cell_wall_ns", "Per-cell-attempt wall time (ns)");
+        RunnerMetrics {
+            registry,
+            events: EventLog::default(),
+            cells_total,
+            cells_done,
+            cells_skipped,
+            attempts_total,
+            retries_total,
+            resumes_total,
+            checkpoint_flush_ns,
+            cell_wall_ns,
+        }
+    }
+}
+
 /// Supervises a [`Campaign`] against an on-disk directory.
-#[derive(Debug)]
 pub struct CampaignRunner {
     campaign: Campaign,
     dir: PathBuf,
     cancel: Arc<AtomicBool>,
     rounds_per_slice: Option<usize>,
+    metrics: RunnerMetrics,
+}
+
+impl std::fmt::Debug for CampaignRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("campaign", &self.campaign)
+            .field("dir", &self.dir)
+            .field("rounds_per_slice", &self.rounds_per_slice)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CampaignRunner {
@@ -288,6 +396,7 @@ impl CampaignRunner {
             dir: dir.into(),
             cancel: Arc::new(AtomicBool::new(false)),
             rounds_per_slice: None,
+            metrics: RunnerMetrics::new(),
         }
     }
 
@@ -336,6 +445,49 @@ impl CampaignRunner {
         self.dir.join(format!("cell_{index:04}.ckpt.json"))
     }
 
+    /// Path of the campaign-wide metrics JSON snapshot.
+    pub fn metrics_json_path(&self) -> PathBuf {
+        self.dir.join("metrics.json")
+    }
+
+    /// Path of the campaign-wide Prometheus-text exposition.
+    pub fn metrics_prom_path(&self) -> PathBuf {
+        self.dir.join("metrics.prom")
+    }
+
+    /// Path of the structured runner event log.
+    pub fn events_path(&self) -> PathBuf {
+        self.dir.join("events.jsonl")
+    }
+
+    /// The runner's metrics registry — campaign counters, retry/resume
+    /// tallies, checkpoint-flush and cell-wall-time histograms.  Callers may
+    /// register further instruments alongside; everything lands in the same
+    /// `metrics.json` / `metrics.prom` artefacts.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    /// The runner's structured event log (flushed to `events.jsonl`).
+    pub fn events(&self) -> &EventLog {
+        &self.metrics.events
+    }
+
+    /// Atomically writes the three observability artefacts.  Called on
+    /// every [`CampaignRunner::run`] return; also callable mid-campaign
+    /// (the instruments are cumulative).
+    pub fn flush_observability(&self) -> Result<()> {
+        atomic_write(
+            &self.metrics_json_path(),
+            &self.metrics.registry.snapshot_json(),
+        )?;
+        atomic_write(
+            &self.metrics_prom_path(),
+            &self.metrics.registry.render_prometheus(),
+        )?;
+        atomic_write(&self.events_path(), &self.metrics.events.to_jsonl())
+    }
+
     fn write_manifest(&self, manifest: &CampaignManifest) -> Result<()> {
         atomic_write(&self.manifest_path(), &manifest.to_json_string())
     }
@@ -378,6 +530,9 @@ impl CampaignRunner {
     pub fn run(&self) -> Result<CampaignOutcome> {
         fs::create_dir_all(&self.dir)?;
         let mut manifest = self.load_manifest()?;
+        self.metrics
+            .cells_total
+            .set(self.campaign.cells.len() as i64);
         for index in 0..self.campaign.cells.len() {
             loop {
                 match manifest.statuses[index].clone() {
@@ -385,21 +540,56 @@ impl CampaignRunner {
                     CellStatus::Pending | CellStatus::InFlight { .. } => {
                         if self.cancel.load(Ordering::SeqCst) {
                             self.write_manifest(&manifest)?;
+                            self.metrics.events.event("campaign_interrupted", &[]);
+                            self.flush_observability()?;
                             return Ok(CampaignOutcome::Interrupted);
                         }
                         let attempts = match &manifest.statuses[index] {
                             CellStatus::InFlight { attempts } => *attempts,
                             _ => 0,
                         };
+                        let resuming = self.checkpoint_path(index).exists();
                         manifest.statuses[index] = CellStatus::InFlight { attempts };
+                        manifest.cells[index].attempts += 1;
+                        if resuming {
+                            manifest.cells[index].resumes += 1;
+                            self.metrics.resumes_total.inc();
+                            self.metrics
+                                .events
+                                .event("cell_resume", &[("cell", Field::U64(index as u64))]);
+                        }
                         self.write_manifest(&manifest)?;
-                        match self.drive_cell(index) {
+                        self.metrics.attempts_total.inc();
+                        self.metrics.events.event(
+                            "cell_start",
+                            &[
+                                ("cell", Field::U64(index as u64)),
+                                ("attempt", Field::U64(u64::from(attempts) + 1)),
+                            ],
+                        );
+                        let started = Instant::now();
+                        let outcome = self.drive_cell(index);
+                        let wall_ns = started.elapsed().as_nanos() as u64;
+                        self.metrics.cell_wall_ns.record(wall_ns);
+                        manifest.cells[index].wall_ms += wall_ns / 1_000_000;
+                        match outcome {
                             Ok(CampaignOutcome::Interrupted) => {
-                                return Ok(CampaignOutcome::Interrupted)
+                                self.write_manifest(&manifest)?;
+                                self.metrics.events.event("campaign_interrupted", &[]);
+                                self.flush_observability()?;
+                                return Ok(CampaignOutcome::Interrupted);
                             }
                             Ok(CampaignOutcome::Completed) => {
                                 manifest.statuses[index] = CellStatus::Done;
                                 self.write_manifest(&manifest)?;
+                                self.metrics.cells_done.inc();
+                                self.metrics.events.event(
+                                    "cell_done",
+                                    &[
+                                        ("cell", Field::U64(index as u64)),
+                                        ("wall_ns", Field::U64(wall_ns)),
+                                    ],
+                                );
                             }
                             Err(error) => {
                                 // A failed attempt's checkpoint is not
@@ -411,11 +601,30 @@ impl CampaignRunner {
                                         reason: error.to_string(),
                                     };
                                     self.write_manifest(&manifest)?;
+                                    self.metrics.cells_skipped.inc();
+                                    self.metrics.events.event(
+                                        "cell_skipped",
+                                        &[
+                                            ("cell", Field::U64(index as u64)),
+                                            ("reason", Field::Str(&error.to_string())),
+                                        ],
+                                    );
                                 } else {
                                     manifest.statuses[index] = CellStatus::InFlight { attempts };
                                     self.write_manifest(&manifest)?;
+                                    self.metrics.retries_total.inc();
+                                    let backoff_ms = self.campaign.retry.delay_ms(attempts);
+                                    self.metrics.events.event(
+                                        "cell_retry",
+                                        &[
+                                            ("cell", Field::U64(index as u64)),
+                                            ("attempt", Field::U64(u64::from(attempts))),
+                                            ("backoff_ms", Field::U64(backoff_ms)),
+                                            ("reason", Field::Str(&error.to_string())),
+                                        ],
+                                    );
                                     std::thread::sleep(std::time::Duration::from_millis(
-                                        self.campaign.retry.delay_ms(attempts),
+                                        backoff_ms,
                                     ));
                                 }
                             }
@@ -424,6 +633,8 @@ impl CampaignRunner {
                 }
             }
         }
+        self.metrics.events.event("campaign_completed", &[]);
+        self.flush_observability()?;
         Ok(CampaignOutcome::Completed)
     }
 
@@ -461,7 +672,11 @@ impl CampaignRunner {
                     return Ok(CampaignOutcome::Completed);
                 }
                 BatchOutcome::Paused(checkpoint) => {
+                    let flush_started = Instant::now();
                     atomic_write(&ckpt_path, &checkpoint.to_json_string())?;
+                    self.metrics
+                        .checkpoint_flush_ns
+                        .record(flush_started.elapsed().as_nanos() as u64);
                     if self.cancel.load(Ordering::SeqCst) {
                         return Ok(CampaignOutcome::Interrupted);
                     }
@@ -574,6 +789,26 @@ impl FromJson for CellStatus {
     }
 }
 
+impl ToJson for CellMeta {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("attempts", Json::UInt(self.attempts as u64)),
+            ("resumes", Json::UInt(self.resumes as u64)),
+            ("wall_ms", Json::UInt(self.wall_ms)),
+        ])
+    }
+}
+
+impl FromJson for CellMeta {
+    fn from_json(json: &Json) -> Result<Self> {
+        Ok(CellMeta {
+            attempts: need_u64(json, "attempts", "CellMeta")? as u32,
+            resumes: need_u64(json, "resumes", "CellMeta")? as u32,
+            wall_ms: need_u64(json, "wall_ms", "CellMeta")?,
+        })
+    }
+}
+
 impl ToJson for CampaignManifest {
     fn to_json(&self) -> Json {
         obj(vec![
@@ -584,25 +819,59 @@ impl ToJson for CampaignManifest {
                 "statuses",
                 Json::Arr(self.statuses.iter().map(|s| s.to_json()).collect()),
             ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(|m| m.to_json()).collect()),
+            ),
         ])
     }
 }
 
 impl FromJson for CampaignManifest {
     fn from_json(json: &Json) -> Result<Self> {
+        let version = need_u64(json, "version", "CampaignManifest")? as u32;
+        if version == 0 || version > CAMPAIGN_MANIFEST_VERSION {
+            return Err(invalid(format!(
+                "CampaignManifest version {version} is not supported (newest is \
+                 {CAMPAIGN_MANIFEST_VERSION})"
+            )));
+        }
+        let statuses = need(json, "statuses", "CampaignManifest")?
+            .as_array()
+            .ok_or_else(|| invalid("CampaignManifest.statuses must be an array"))?
+            .iter()
+            .map(CellStatus::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        // Version 1 predates the per-cell meta array: zero-fill and upgrade,
+        // so the next write persists as v2.
+        let cells = match json.get("cells") {
+            None | Some(Json::Null) => vec![CellMeta::default(); statuses.len()],
+            Some(array) => {
+                let metas = array
+                    .as_array()
+                    .ok_or_else(|| invalid("CampaignManifest.cells must be an array"))?
+                    .iter()
+                    .map(CellMeta::from_json)
+                    .collect::<Result<Vec<_>>>()?;
+                if metas.len() != statuses.len() {
+                    return Err(invalid(format!(
+                        "CampaignManifest.cells has {} entries but statuses has {}",
+                        metas.len(),
+                        statuses.len()
+                    )));
+                }
+                metas
+            }
+        };
         Ok(CampaignManifest {
-            version: need_u64(json, "version", "CampaignManifest")? as u32,
+            version: CAMPAIGN_MANIFEST_VERSION,
             name: need(json, "name", "CampaignManifest")?
                 .as_str()
                 .ok_or_else(|| invalid("CampaignManifest.name must be a string"))?
                 .to_string(),
             campaign_seed: need_u64(json, "campaign_seed", "CampaignManifest")?,
-            statuses: need(json, "statuses", "CampaignManifest")?
-                .as_array()
-                .ok_or_else(|| invalid("CampaignManifest.statuses must be an array"))?
-                .iter()
-                .map(CellStatus::from_json)
-                .collect::<Result<Vec<_>>>()?,
+            statuses,
+            cells,
         })
     }
 }
@@ -1047,6 +1316,63 @@ mod tests {
     }
 
     #[test]
+    fn completed_campaign_writes_observability_artefacts_and_cell_meta() {
+        let dir = temp_dir("obs");
+        let runner = CampaignRunner::new(quick_campaign("unit/obs"), &dir);
+        assert_eq!(runner.run().unwrap(), CampaignOutcome::Completed);
+
+        let manifest = runner.load_manifest().unwrap();
+        assert_eq!(manifest.version, CAMPAIGN_MANIFEST_VERSION);
+        assert_eq!(manifest.cells.len(), 2);
+        for meta in &manifest.cells {
+            assert_eq!(meta.attempts, 1);
+            assert_eq!(meta.resumes, 0);
+        }
+
+        let json = fs::read_to_string(runner.metrics_json_path()).unwrap();
+        assert!(json.contains("\"campaign_cells_done_total\":2"));
+        assert!(json.contains("\"campaign_cell_attempts_total\":2"));
+        assert!(json.contains("\"counters\""));
+        let prom = fs::read_to_string(runner.metrics_prom_path()).unwrap();
+        assert!(prom.contains("# TYPE campaign_cells_done_total counter"));
+        assert!(prom.contains("campaign_cell_wall_ns_count 2"));
+        let events = fs::read_to_string(runner.events_path()).unwrap();
+        assert_eq!(
+            events
+                .lines()
+                .filter(|l| l.contains("\"event\":\"cell_done\""))
+                .count(),
+            2
+        );
+        assert!(events.ends_with('\n'));
+        assert!(events.contains("\"event\":\"campaign_completed\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_attempts_are_counted_in_cell_meta_and_events() {
+        let dir = temp_dir("obs_retry");
+        let campaign = Campaign::new("unit/obs_retry", 5)
+            .add_cell(quick_cell("cell/bad", 300).replicas(0))
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            });
+        let runner = CampaignRunner::new(campaign, &dir);
+        assert_eq!(runner.run().unwrap(), CampaignOutcome::Completed);
+        let manifest = runner.load_manifest().unwrap();
+        assert_eq!(manifest.cells[0].attempts, 2);
+        let json = fs::read_to_string(runner.metrics_json_path()).unwrap();
+        assert!(json.contains("\"campaign_cell_retries_total\":1"));
+        assert!(json.contains("\"campaign_cells_skipped_total\":1"));
+        let events = fs::read_to_string(runner.events_path()).unwrap();
+        assert!(events.contains("\"event\":\"cell_retry\""));
+        assert!(events.contains("\"event\":\"cell_skipped\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn manifest_refuses_a_different_campaign() {
         let dir = temp_dir("mismatch");
         let runner = CampaignRunner::new(quick_campaign("unit/mismatch"), &dir);
@@ -1068,12 +1394,12 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
-    // --- golden v1 snapshots --------------------------------------------
+    // --- golden snapshots -----------------------------------------------
 
     #[test]
-    fn golden_v1_manifest_snapshot() {
+    fn golden_v2_manifest_snapshot() {
         let manifest = CampaignManifest {
-            version: 1,
+            version: 2,
             name: "e18/quick".to_string(),
             campaign_seed: 42,
             statuses: vec![
@@ -1084,12 +1410,50 @@ mod tests {
                     reason: "boom".to_string(),
                 },
             ],
+            cells: vec![
+                CellMeta {
+                    attempts: 1,
+                    resumes: 0,
+                    wall_ms: 12,
+                },
+                CellMeta {
+                    attempts: 2,
+                    resumes: 1,
+                    wall_ms: 7,
+                },
+                CellMeta::default(),
+                CellMeta {
+                    attempts: 3,
+                    resumes: 0,
+                    wall_ms: 4,
+                },
+            ],
         };
-        let expected = "{\"version\":1,\"name\":\"e18/quick\",\"campaign_seed\":42,\
+        let expected = "{\"version\":2,\"name\":\"e18/quick\",\"campaign_seed\":42,\
                         \"statuses\":[\"Done\",{\"InFlight\":{\"attempts\":1}},\"Pending\",\
-                        {\"Skipped\":{\"reason\":\"boom\"}}]}";
+                        {\"Skipped\":{\"reason\":\"boom\"}}],\
+                        \"cells\":[{\"attempts\":1,\"resumes\":0,\"wall_ms\":12},\
+                        {\"attempts\":2,\"resumes\":1,\"wall_ms\":7},\
+                        {\"attempts\":0,\"resumes\":0,\"wall_ms\":0},\
+                        {\"attempts\":3,\"resumes\":0,\"wall_ms\":4}]}";
         assert_eq!(manifest.to_json_string(), expected);
         assert_eq!(CampaignManifest::from_json_str(expected).unwrap(), manifest);
+    }
+
+    #[test]
+    fn v1_manifest_upgrades_with_zeroed_meta() {
+        let v1 = "{\"version\":1,\"name\":\"e18/quick\",\"campaign_seed\":42,\
+                  \"statuses\":[\"Done\",\"Pending\"]}";
+        let manifest = CampaignManifest::from_json_str(v1).unwrap();
+        assert_eq!(manifest.version, CAMPAIGN_MANIFEST_VERSION);
+        assert_eq!(manifest.statuses.len(), 2);
+        assert_eq!(manifest.cells, vec![CellMeta::default(); 2]);
+        // A future (unknown) version is a typed error, not a zero-fill.
+        let v9 = "{\"version\":9,\"name\":\"x\",\"campaign_seed\":0,\"statuses\":[]}";
+        assert!(matches!(
+            CampaignManifest::from_json_str(v9),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use bo3_theory;
 pub mod prelude {
     pub use crate::campaign::{
         atomic_write, cell_seed, is_polarised, Campaign, CampaignManifest, CampaignOutcome,
-        CampaignRunner, CellResult, CellStatus, RetryPolicy, CAMPAIGN_MANIFEST_VERSION,
+        CampaignRunner, CellMeta, CellResult, CellStatus, RetryPolicy, CAMPAIGN_MANIFEST_VERSION,
     };
     pub use crate::configio::{FromJson, ToJson};
     pub use crate::duality::{DualityCheck, DualityReport};

@@ -33,7 +33,7 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::{CsrGraph, CsrTopology, NeighbourSampler, Topology};
+use bo3_graph::{CsrGraph, CsrTopology, MeteredTopology, NeighbourSampler, Topology};
 
 use crate::adversary::{self, Adversary, AdversaryCounters};
 use crate::checkpoint::{
@@ -41,6 +41,7 @@ use crate::checkpoint::{
 };
 use crate::error::{DynamicsError, Result};
 use crate::kernel::{self, PackedSnapshot, ProtocolKind};
+use crate::observe::{maybe_now, NoopObserver, Observer};
 use crate::opinion::{Configuration, Opinion};
 use crate::protocol::{Protocol, UpdateContext};
 use crate::schedule::Schedule;
@@ -95,13 +96,20 @@ impl RunResult {
 
 /// The one voting-dynamics engine: any [`Topology`], either [`Schedule`],
 /// seeded or caller-RNG execution, sequential or multi-threaded.
-pub struct Engine<T: Topology> {
+///
+/// The second type parameter is the attached [`Observer`]
+/// ([`Engine::with_observer`]); it defaults to [`NoopObserver`], whose hooks
+/// monomorphize to nothing — an unobserved engine compiles to exactly the
+/// uninstrumented hot path.  Observers read a run, they never perturb it:
+/// results are bit-identical with or without one (see [`crate::observe`]).
+pub struct Engine<T: Topology, O: Observer = NoopObserver> {
     topo: T,
     schedule: Schedule,
     stopping: StoppingCondition,
     threads: usize,
     record_trace: bool,
     adversary: Option<Adversary>,
+    observer: O,
 }
 
 impl<T: Topology> Engine<T> {
@@ -130,7 +138,36 @@ impl<T: Topology> Engine<T> {
             threads: 1,
             record_trace: false,
             adversary: None,
+            observer: NoopObserver,
         })
+    }
+}
+
+impl<T: Topology, O: Observer> Engine<T, O> {
+    /// Attaches an observer, replacing the current one (the default is the
+    /// free [`NoopObserver`]).
+    ///
+    /// Observers receive read-only notifications — per-round and per-chunk
+    /// progress/wall-time, the adversary tally, rejection-sampling effort —
+    /// and are bound by the [`crate::observe`] contract: they never consume
+    /// randomness or alter control flow, so the run's results are
+    /// **bit-identical** with any observer attached, at any thread count, on
+    /// either schedule.
+    pub fn with_observer<O2: Observer>(self, observer: O2) -> Engine<T, O2> {
+        Engine {
+            topo: self.topo,
+            schedule: self.schedule,
+            stopping: self.stopping,
+            threads: self.threads,
+            record_trace: self.record_trace,
+            adversary: self.adversary,
+            observer,
+        }
+    }
+
+    /// The attached observer (use after a run to read what it recorded).
+    pub fn observer(&self) -> &O {
+        &self.observer
     }
 
     /// Sets the update schedule.
@@ -298,6 +335,12 @@ impl<T: Topology> Engine<T> {
     /// the materialised-complete-graph row synthesis), everything else
     /// through the fully generic topology dispatch.  Both consume the RNG
     /// identically.
+    ///
+    /// When the observer wants a sampler meter, the generic arm wraps the
+    /// topology in [`MeteredTopology`] — which consumes the RNG identically
+    /// and forwards every routing predicate, so metering is invisible in the
+    /// output.  The CSR arm samples in one try by construction and stays
+    /// unmetered (its try-rate is definitionally 1).
     #[inline]
     fn dispatch<R: RngCore + ?Sized>(
         &self,
@@ -309,7 +352,54 @@ impl<T: Topology> Engine<T> {
     ) {
         match self.topo.as_graph() {
             Some(graph) => kernel::dispatch_chunk(kind, graph, snap, start, out, rng),
-            None => kernel::dispatch_chunk_topology(kind, &self.topo, snap, start, out, rng),
+            None => match self.observer.sampler_meter() {
+                Some(meter) => kernel::dispatch_chunk_topology(
+                    kind,
+                    &MeteredTopology::new(&self.topo, meter),
+                    snap,
+                    start,
+                    out,
+                    rng,
+                ),
+                None => kernel::dispatch_chunk_topology(kind, &self.topo, snap, start, out, rng),
+            },
+        }
+    }
+
+    /// [`adversary::dispatch_chunk_adversarial`] behind the same
+    /// meter-or-not routing as [`Engine::dispatch`]: the wrapper forwards
+    /// `as_graph`, so the adversarial dispatch's internal CSR-vs-generic
+    /// choice is unchanged by metering.
+    #[allow(clippy::too_many_arguments)] // private plumbing: mirrors the adversarial dispatch
+    #[inline]
+    fn dispatch_adversarial<R: RngCore + ?Sized, A: RngCore + ?Sized>(
+        &self,
+        adv: &Adversary,
+        kind: ProtocolKind,
+        snap: &PackedSnapshot,
+        start: usize,
+        out: &mut [Opinion],
+        round: u64,
+        rng: &mut R,
+        adv_rng: &mut A,
+        dropped: &AtomicU64,
+    ) {
+        match self.observer.sampler_meter() {
+            Some(meter) => adversary::dispatch_chunk_adversarial(
+                adv,
+                kind,
+                &MeteredTopology::new(&self.topo, meter),
+                snap,
+                start,
+                out,
+                round,
+                rng,
+                adv_rng,
+                dropped,
+            ),
+            None => adversary::dispatch_chunk_adversarial(
+                adv, kind, &self.topo, snap, start, out, round, rng, adv_rng, dropped,
+            ),
         }
     }
 
@@ -343,10 +433,9 @@ impl<T: Topology> Engine<T> {
                 None => self.dispatch(kind, snap, 0, next, rng),
                 Some(adv) => {
                     let mut adv_rng = adv.round_rng(0, round, 0);
-                    adversary::dispatch_chunk_adversarial(
+                    self.dispatch_adversarial(
                         adv,
                         kind,
-                        &self.topo,
                         snap,
                         0,
                         next,
@@ -394,20 +483,25 @@ impl<T: Topology> Engine<T> {
         let snap_ref = &*snap;
         match &self.adversary {
             None => crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+                let timer = maybe_now(&self.observer);
                 let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
                 self.dispatch(kind, snap_ref, start, out, &mut rng);
+                if let Some(t0) = timer {
+                    self.observer
+                        .on_chunk(chunk, out.len() as u64, t0.elapsed().as_nanos() as u64);
+                }
             }),
             // The adversarial round keeps the exact same kernel streams and
             // chunk layout; the adversary's drop coins ride a second,
             // salted per-(seed, round, chunk) stream, so the round stays
             // bit-identical at any thread count.
             Some(adv) => crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
+                let timer = maybe_now(&self.observer);
                 let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
                 let mut adv_rng = adv.round_rng(master_seed, round, chunk);
-                adversary::dispatch_chunk_adversarial(
+                self.dispatch_adversarial(
                     adv,
                     kind,
-                    &self.topo,
                     snap_ref,
                     start,
                     out,
@@ -416,6 +510,10 @@ impl<T: Topology> Engine<T> {
                     &mut adv_rng,
                     dropped,
                 );
+                if let Some(t0) = timer {
+                    self.observer
+                        .on_chunk(chunk, out.len() as u64, t0.elapsed().as_nanos() as u64);
+                }
             }),
         }
     }
@@ -488,43 +586,47 @@ impl<T: Topology> Engine<T> {
                     // layout: one stream per round at ASYNC_ROUND_CHUNK.
                     let mut adv_rng = adv.round_rng(adv_master, round, ASYNC_ROUND_CHUNK);
                     let mut lost = 0u64;
-                    for &v in order.iter() {
-                        if adv.is_zealot(v) {
-                            continue;
-                        }
-                        let new = adversary::update_vertex_adversarial(
+                    match self.observer.sampler_meter() {
+                        Some(meter) => async_adversarial_sweep(
                             adv,
                             kind,
-                            &self.topo,
+                            &MeteredTopology::new(&self.topo, meter),
+                            order,
                             live,
-                            v,
+                            config,
                             round,
                             rng,
                             &mut adv_rng,
                             &mut lost,
-                        );
-                        if live.get(v) != new {
-                            live.set(v, new);
-                            config.set(v, new);
-                        }
+                        ),
+                        None => async_adversarial_sweep(
+                            adv,
+                            kind,
+                            &self.topo,
+                            order,
+                            live,
+                            config,
+                            round,
+                            rng,
+                            &mut adv_rng,
+                            &mut lost,
+                        ),
                     }
                     if lost > 0 {
                         dropped.fetch_add(lost, Ordering::Relaxed);
                     }
                     return;
                 }
-                // The live blue count makes the complete-topology local
-                // majority O(1) per update instead of a Θ(n) row walk; it is
-                // maintained exactly, so counts (and tie coins) match the
-                // row-walking path bit for bit.
-                let mut blues = live.blue_count();
-                for &v in order.iter() {
-                    let new = kernel::update_vertex_live(kind, &self.topo, live, blues, v, rng);
-                    if live.get(v) != new {
-                        blues = if new.is_blue() { blues + 1 } else { blues - 1 };
-                        live.set(v, new);
-                        config.set(v, new);
-                    }
+                match self.observer.sampler_meter() {
+                    Some(meter) => async_kernel_sweep(
+                        kind,
+                        &MeteredTopology::new(&self.topo, meter),
+                        order,
+                        live,
+                        config,
+                        rng,
+                    ),
+                    None => async_kernel_sweep(kind, &self.topo, order, live, config, rng),
                 }
             }
             None => {
@@ -730,39 +832,51 @@ impl<T: Topology> Engine<T> {
             &self.stopping,
             self.record_trace,
             initial,
-            |config, round| match self.schedule {
-                Schedule::Synchronous => {
-                    self.step_sync_with_rng(
-                        protocol,
-                        kind,
-                        sampler.as_ref(),
-                        config,
-                        &mut scratch,
-                        &mut snap,
-                        round as u64,
-                        &dropped,
-                        rng,
-                    );
-                    config.overwrite_from(&scratch);
+            |config, round| {
+                let timer = maybe_now(&self.observer);
+                match self.schedule {
+                    Schedule::Synchronous => {
+                        self.step_sync_with_rng(
+                            protocol,
+                            kind,
+                            sampler.as_ref(),
+                            config,
+                            &mut scratch,
+                            &mut snap,
+                            round as u64,
+                            &dropped,
+                            rng,
+                        );
+                        config.overwrite_from(&scratch);
+                    }
+                    Schedule::AsynchronousRandomOrder => {
+                        self.step_async(
+                            Some(protocol),
+                            kind,
+                            sampler.as_ref(),
+                            config,
+                            &mut order,
+                            &mut snap,
+                            round as u64,
+                            0,
+                            &dropped,
+                            rng,
+                        );
+                    }
                 }
-                Schedule::AsynchronousRandomOrder => {
-                    self.step_async(
-                        Some(protocol),
-                        kind,
-                        sampler.as_ref(),
-                        config,
-                        &mut order,
-                        &mut snap,
+                if let Some(t0) = timer {
+                    self.observer.on_round(
                         round as u64,
-                        0,
-                        &dropped,
-                        rng,
+                        config.len() as u64,
+                        t0.elapsed().as_nanos() as u64,
                     );
                 }
             },
         );
         if let Some(adv) = &self.adversary {
-            result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+            let counters = adv.counters(result.rounds, dropped.into_inner());
+            self.observer.on_adversary(&counters);
+            result.adversary = Some(counters);
         }
         Ok(result)
     }
@@ -910,6 +1024,7 @@ impl<T: Topology> Engine<T> {
         let mut order: Vec<usize> = Vec::new();
         let dropped = AtomicU64::new(prior_dropped);
         let outcome = drive_budgeted(&self.stopping, budget, state, |config, round| {
+            let timer = maybe_now(&self.observer);
             match self.schedule {
                 Schedule::Synchronous => {
                     self.step_sync_seeded_kernel(
@@ -940,11 +1055,20 @@ impl<T: Topology> Engine<T> {
                     );
                 }
             }
+            if let Some(t0) = timer {
+                self.observer.on_round(
+                    round as u64,
+                    config.len() as u64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
         });
         match outcome {
             DriveOutcome::Done(mut result) => {
                 if let Some(adv) = &self.adversary {
-                    result.adversary = Some(adv.counters(result.rounds, dropped.into_inner()));
+                    let counters = adv.counters(result.rounds, dropped.into_inner());
+                    self.observer.on_adversary(&counters);
+                    result.adversary = Some(counters);
                 }
                 Ok(RunOutcome::Completed(result))
             }
@@ -984,32 +1108,45 @@ impl<T: Topology> Engine<T> {
             &self.stopping,
             self.record_trace,
             initial,
-            |config, round| match self.schedule {
-                Schedule::Synchronous => {
-                    self.step_sync_seeded_dyn(
-                        protocol,
-                        &sampler,
-                        config,
-                        &mut scratch,
-                        master_seed,
-                        round as u64,
-                    );
-                    config.overwrite_from(&scratch);
+            |config, round| {
+                let timer = maybe_now(&self.observer);
+                match self.schedule {
+                    Schedule::Synchronous => {
+                        self.step_sync_seeded_dyn(
+                            protocol,
+                            &sampler,
+                            config,
+                            &mut scratch,
+                            master_seed,
+                            round as u64,
+                        );
+                        config.overwrite_from(&scratch);
+                    }
+                    Schedule::AsynchronousRandomOrder => {
+                        let mut rng = crate::parallel::chunk_rng(
+                            master_seed,
+                            round as u64,
+                            ASYNC_ROUND_CHUNK,
+                        );
+                        self.step_async(
+                            Some(protocol),
+                            None,
+                            Some(&sampler),
+                            config,
+                            &mut order,
+                            &mut snap,
+                            round as u64,
+                            0,
+                            &dropped,
+                            &mut rng,
+                        );
+                    }
                 }
-                Schedule::AsynchronousRandomOrder => {
-                    let mut rng =
-                        crate::parallel::chunk_rng(master_seed, round as u64, ASYNC_ROUND_CHUNK);
-                    self.step_async(
-                        Some(protocol),
-                        None,
-                        Some(&sampler),
-                        config,
-                        &mut order,
-                        &mut snap,
+                if let Some(t0) = timer {
+                    self.observer.on_round(
                         round as u64,
-                        0,
-                        &dropped,
-                        &mut rng,
+                        config.len() as u64,
+                        t0.elapsed().as_nanos() as u64,
                     );
                 }
             },
@@ -1025,10 +1162,67 @@ impl<'g> Engine<CsrTopology<'g>> {
     pub fn on_graph(graph: &'g CsrGraph) -> Result<Self> {
         Engine::new(CsrTopology::new(graph))
     }
+}
 
+impl<'g, O: Observer> Engine<CsrTopology<'g>, O> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g CsrGraph {
         self.topology().graph()
+    }
+}
+
+/// The honest asynchronous kernel sweep, generic over the (possibly
+/// metered) topology so the observer's sampler meter can wrap it without a
+/// second copy of the loop.
+///
+/// The live blue count makes the complete-topology local majority O(1) per
+/// update instead of a Θ(n) row walk; it is maintained exactly, so counts
+/// (and tie coins) match the row-walking path bit for bit.
+fn async_kernel_sweep<T: Topology>(
+    kind: ProtocolKind,
+    topo: &T,
+    order: &[usize],
+    live: &mut PackedSnapshot,
+    config: &mut Configuration,
+    rng: &mut dyn RngCore,
+) {
+    let mut blues = live.blue_count();
+    for &v in order {
+        let new = kernel::update_vertex_live(kind, topo, live, blues, v, rng);
+        if live.get(v) != new {
+            blues = if new.is_blue() { blues + 1 } else { blues - 1 };
+            live.set(v, new);
+            config.set(v, new);
+        }
+    }
+}
+
+/// The adversarial asynchronous sweep, generic like [`async_kernel_sweep`]
+/// (zealots skip their update; `lost` tallies samples the adversary ate).
+#[allow(clippy::too_many_arguments)] // private plumbing: mirrors the adversarial update
+fn async_adversarial_sweep<T: Topology>(
+    adv: &Adversary,
+    kind: ProtocolKind,
+    topo: &T,
+    order: &[usize],
+    live: &mut PackedSnapshot,
+    config: &mut Configuration,
+    round: u64,
+    rng: &mut dyn RngCore,
+    adv_rng: &mut dyn RngCore,
+    lost: &mut u64,
+) {
+    for &v in order {
+        if adv.is_zealot(v) {
+            continue;
+        }
+        let new = adversary::update_vertex_adversarial(
+            adv, kind, topo, live, v, round, rng, adv_rng, lost,
+        );
+        if live.get(v) != new {
+            live.set(v, new);
+            config.set(v, new);
+        }
     }
 }
 

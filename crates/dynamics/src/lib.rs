@@ -61,6 +61,7 @@ pub mod error;
 pub mod init;
 pub mod kernel;
 pub mod montecarlo;
+pub mod observe;
 pub mod opinion;
 pub mod parallel;
 pub mod protocol;
@@ -88,6 +89,7 @@ pub mod prelude {
         BatchCheckpoint, BatchOutcome, MonteCarlo, MonteCarloReport, ReplicaOutcome,
         BATCH_CHECKPOINT_VERSION,
     };
+    pub use crate::observe::{MetricsObserver, NoopObserver, Observer};
     pub use crate::opinion::{Configuration, Opinion};
     pub use crate::parallel::ParallelSimulator;
     pub use crate::protocol::{

@@ -47,6 +47,7 @@ pub mod degree;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod metered;
 pub mod oracle;
 pub mod properties;
 pub mod sampling;
@@ -58,6 +59,7 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::{GraphError, Result};
+pub use metered::MeteredTopology;
 pub use oracle::{DegreeClass, DegreeOracle, DegreeWindow, DEGREE_ORACLE_FAILURE_PROBABILITY};
 pub use sampling::NeighbourSampler;
 pub use spec::{BuiltTopology, TopologySpec, GRAPH_SEED_SALT};

@@ -380,6 +380,15 @@ impl Topology for BuiltTopology {
         delegate_topology!(self, t => t.sample_neighbour(v, rng))
     }
 
+    #[inline(always)]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        delegate_topology!(self, t => t.sample_neighbour_tries(v, rng))
+    }
+
     #[inline]
     fn sample_neighbours_into<R: RngCore + ?Sized>(
         &self,

@@ -157,6 +157,23 @@ pub trait Topology: Sync {
     /// describes.
     fn sample_neighbour<R: RngCore + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId;
 
+    /// [`Topology::sample_neighbour`] plus the number of candidate *tries*
+    /// the draw consumed — `1` for closed-form and materialised samplers,
+    /// the rejection count (expected `1/p`) for hash-defined topologies.
+    ///
+    /// The two entry points consume the RNG identically (the default
+    /// delegates, and overriders must preserve this), so metering a sampler
+    /// through this method can never change what the unmetered path draws —
+    /// the engine's bit-identity contract for observers rests on that.
+    #[inline]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        (self.sample_neighbour(v, rng), 1)
+    }
+
     /// Samples `out.len()` neighbours of `v` uniformly with replacement.
     #[inline]
     fn sample_neighbours_into<R: RngCore + ?Sized>(
@@ -248,6 +265,15 @@ impl<T: Topology + ?Sized> Topology for &T {
     #[inline(always)]
     fn sample_neighbour<R: RngCore + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId {
         (**self).sample_neighbour(v, rng)
+    }
+
+    #[inline(always)]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        (**self).sample_neighbour_tries(v, rng)
     }
 
     fn sample_neighbours_into<R: RngCore + ?Sized>(
@@ -622,11 +648,20 @@ impl Topology for ImplicitGnp {
 
     #[inline(always)]
     fn sample_neighbour<R: RngCore + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId {
-        for _ in 0..MAX_REJECTIONS {
+        self.sample_neighbour_tries(v, rng).0
+    }
+
+    #[inline(always)]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        for tries in 1..=MAX_REJECTIONS as u64 {
             let idx = lemire_index(rng.next_u64(), self.n - 1);
             let w = idx + usize::from(idx >= v);
             if (pair_hash(self.seed, v, w) as u128) < self.threshold {
-                return w;
+                return (w, tries);
             }
         }
         panic!(
@@ -777,11 +812,20 @@ impl Topology for ImplicitSbm {
 
     #[inline(always)]
     fn sample_neighbour<R: RngCore + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId {
-        for _ in 0..MAX_REJECTIONS {
+        self.sample_neighbour_tries(v, rng).0
+    }
+
+    #[inline(always)]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        for tries in 1..=MAX_REJECTIONS as u64 {
             let idx = lemire_index(rng.next_u64(), self.n - 1);
             let w = idx + usize::from(idx >= v);
             if self.has_edge(v, w) {
-                return w;
+                return (w, tries);
             }
         }
         panic!(

@@ -1,0 +1,236 @@
+//! A bounded, buffered structured event log rendered as JSONL.
+//!
+//! Events accumulate in memory (one pre-rendered line each) and are handed
+//! to the caller as a single string ([`EventLog::to_jsonl`]) for
+//! atomic-write persistence — the log never touches the filesystem itself.
+//! The buffer is bounded: past `capacity` events the log counts drops
+//! instead of growing, so a runaway loop cannot turn observability into an
+//! OOM.
+//!
+//! Timestamps are nanoseconds since the log's creation (monotonic
+//! [`Instant`], never wall-clock), so event files from deterministic runs
+//! differ only in the timing fields — which is why they are *not* part of
+//! any byte-diffed artefact set.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{escape_json_into, format_f64_into};
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite renders as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(&'a str),
+}
+
+struct Buffer {
+    lines: Vec<String>,
+    dropped: u64,
+}
+
+/// A buffered structured JSONL event log with scoped span timers.
+pub struct EventLog {
+    start: Instant,
+    capacity: usize,
+    buffer: Mutex<Buffer>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(1 << 16)
+    }
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events (further events are
+    /// counted as dropped, never silently lost).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            start: Instant::now(),
+            capacity,
+            buffer: Mutex::new(Buffer {
+                lines: Vec::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Nanoseconds since the log was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Appends one event: `{"t_ns":...,"event":"name",<fields...>}`.
+    pub fn event(&self, name: &str, fields: &[(&str, Field<'_>)]) {
+        let mut line = format!("{{\"t_ns\":{},\"event\":", self.elapsed_ns());
+        escape_json_into(name, &mut line);
+        for (key, value) in fields {
+            line.push(',');
+            escape_json_into(key, &mut line);
+            line.push(':');
+            match value {
+                Field::U64(v) => line.push_str(&v.to_string()),
+                Field::I64(v) => line.push_str(&v.to_string()),
+                Field::F64(v) => format_f64_into(*v, &mut line),
+                Field::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+                Field::Str(v) => escape_json_into(v, &mut line),
+            }
+        }
+        line.push('}');
+        let mut buffer = self.buffer.lock().expect("event log poisoned");
+        if buffer.lines.len() >= self.capacity {
+            buffer.dropped += 1;
+        } else {
+            buffer.lines.push(line);
+        }
+    }
+
+    /// Starts a scoped timer: on drop, the span logs
+    /// `{"event":name,"wall_ns":<elapsed>}`.
+    pub fn span<'a>(&'a self, name: &'a str) -> Span<'a> {
+        Span {
+            log: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().expect("event log poisoned").lines.len()
+    }
+
+    /// `true` when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.buffer.lock().expect("event log poisoned").dropped
+    }
+
+    /// The whole log as JSONL (one event object per line, trailing
+    /// newline); ends with a `log_truncated` event when any were dropped.
+    pub fn to_jsonl(&self) -> String {
+        let buffer = self.buffer.lock().expect("event log poisoned");
+        let mut out = String::new();
+        for line in &buffer.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if buffer.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"event\":\"log_truncated\",\"dropped\":{}}}\n",
+                self.start.elapsed().as_nanos() as u64,
+                buffer.dropped
+            ));
+        }
+        out
+    }
+}
+
+/// A scoped timer created by [`EventLog::span`]; logs its wall time on drop.
+pub struct Span<'a> {
+    log: &'a EventLog,
+    name: &'a str,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Ends the span now, attaching `fields` to the timing event.
+    pub fn finish(self, fields: &[(&str, Field<'_>)]) {
+        let mut all: Vec<(&str, Field<'_>)> = Vec::with_capacity(fields.len() + 1);
+        all.push((
+            "wall_ns",
+            Field::U64(self.start.elapsed().as_nanos() as u64),
+        ));
+        all.extend_from_slice(fields);
+        self.log.event(self.name, &all);
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.log.event(
+            self.name,
+            &[(
+                "wall_ns",
+                Field::U64(self.start.elapsed().as_nanos() as u64),
+            )],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_one_json_object_per_line() {
+        let log = EventLog::new(16);
+        log.event(
+            "cell_retry",
+            &[
+                ("cell", Field::U64(3)),
+                ("reason", Field::Str("boom \"quoted\"")),
+                ("backoff_ms", Field::U64(200)),
+                ("fatal", Field::Bool(false)),
+                ("score", Field::F64(0.5)),
+            ],
+        );
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"t_ns\":"));
+        assert!(lines[0].contains("\"event\":\"cell_retry\""));
+        assert!(lines[0].contains("\"cell\":3"));
+        assert!(lines[0].contains("\"reason\":\"boom \\\"quoted\\\"\""));
+        assert!(lines[0].contains("\"fatal\":false"));
+        assert!(lines[0].contains("\"score\":0.5"));
+        assert!(lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer_and_counts_drops() {
+        let log = EventLog::new(2);
+        for i in 0..5u64 {
+            log.event("tick", &[("i", Field::U64(i))]);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("\"event\":\"log_truncated\",\"dropped\":3"));
+    }
+
+    #[test]
+    fn spans_log_their_wall_time_on_drop() {
+        let log = EventLog::new(16);
+        {
+            let _span = log.span("checkpoint_flush");
+        }
+        log.span("cell_run").finish(&[("cell", Field::U64(7))]);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"event\":\"checkpoint_flush\",\"wall_ns\":"));
+        assert!(jsonl.contains("\"event\":\"cell_run\",\"wall_ns\":"));
+        assert!(jsonl.contains("\"cell\":7"));
+    }
+
+    #[test]
+    fn empty_log_renders_empty() {
+        let log = EventLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.to_jsonl(), "");
+    }
+}

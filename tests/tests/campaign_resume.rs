@@ -362,14 +362,29 @@ proptest! {
     #[test]
     fn manifest_json_round_trips(
         statuses in proptest::collection::vec(arb_status(), 0..12),
+        metas in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u64>()),
+            0..12,
+        ),
         seed in any::<u64>(),
         name_tag in 0u32..1000,
     ) {
+        // The meta array must stay aligned with the statuses array.
+        let cells: Vec<CellMeta> = statuses
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (attempts, resumes, wall_ms) =
+                    metas.get(i).copied().unwrap_or((0, 0, 0));
+                CellMeta { attempts, resumes, wall_ms }
+            })
+            .collect();
         let manifest = CampaignManifest {
             version: CAMPAIGN_MANIFEST_VERSION,
             name: format!("campaign/{name_tag}"),
             campaign_seed: seed,
             statuses,
+            cells,
         };
         let reparsed = CampaignManifest::from_json_str(&manifest.to_json_string()).unwrap();
         prop_assert_eq!(reparsed, manifest);
