@@ -652,8 +652,8 @@ impl CampaignRunner {
         let mc = cell.monte_carlo();
         let budget = RunBudget {
             max_rounds_per_slice: self.rounds_per_slice,
-            deadline: None,
             cancel_flag: Some(self.cancel.clone()),
+            ..RunBudget::default()
         };
         let ckpt_path = self.checkpoint_path(index);
         let mut resume = if ckpt_path.exists() {

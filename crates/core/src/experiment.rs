@@ -279,6 +279,69 @@ impl Experiment {
         self.assemble(built.n(), built.memory_bytes(), degree_stats, report)
     }
 
+    /// Checks the configuration without running anything — the same
+    /// validation [`Experiment::run`] performs first (parameter ranges and
+    /// cross-field consistency; graph-level checks still happen at run
+    /// time).  The `bo3-serve` daemon calls this at submit time so a bad
+    /// configuration is refused at the socket as a typed `invalid-config`
+    /// error instead of being accepted and failing later.
+    pub fn validate_config(&self) -> Result<()> {
+        self.validate()
+    }
+
+    /// Runs the experiment cooperatively: the [`RunBudget`]'s slice cap sets
+    /// how often control returns, `on_progress` receives a
+    /// [`BatchProgress`] sample at every slice boundary, and flipping the
+    /// budget's cancel or drain flag interrupts the run within one slice
+    /// (returning [`CooperativeOutcome::Interrupted`] with the batch
+    /// checkpoint).
+    ///
+    /// This is the entry point a long-running service drives.  The progress
+    /// callback only observes checkpoints — it never touches replica seeding
+    /// or round streams — so a completed result is **bit-identical** to
+    /// [`Experiment::run`], whatever the slice size, thread count, or number
+    /// of pauses along the way (the service determinism contract, pinned by
+    /// the wire-level tests).  Resuming an interrupted run is the caller's
+    /// job: feed the checkpoint back through
+    /// [`MonteCarlo::run_on_topology_cooperative`] or restart from scratch —
+    /// determinism makes both equivalent.
+    pub fn run_cooperative(
+        &self,
+        budget: &RunBudget,
+        on_progress: &mut dyn FnMut(&BatchProgress),
+    ) -> Result<CooperativeOutcome> {
+        self.validate()?;
+        let built = self.build_topology()?;
+        let degree_stats = match built.as_graph() {
+            Some(graph) => {
+                self.validate_graph(graph)?;
+                Analysis::Computed(DegreeStats::of(graph)?)
+            }
+            None => {
+                self.validate_implicit_regime(built.n())?;
+                match self.topology.closed_form_degree_stats() {
+                    Some(stats) => Analysis::Computed(stats),
+                    None => Analysis::skipped(format!(
+                        "degree statistics of {} are hash-defined (Θ(n) per vertex to read); \
+                         materialise the spec to measure them",
+                        self.topology.label()
+                    )),
+                }
+            }
+        };
+        let outcome =
+            self.monte_carlo()
+                .run_on_topology_cooperative(&built, None, budget, on_progress)?;
+        match outcome {
+            BatchOutcome::Completed(report) => {
+                let result =
+                    self.assemble(built.n(), built.memory_bytes(), degree_stats, report)?;
+                Ok(CooperativeOutcome::Completed(Box::new(result)))
+            }
+            BatchOutcome::Paused(ckpt) => Ok(CooperativeOutcome::Interrupted(ckpt)),
+        }
+    }
+
     /// Runs the experiment on an already generated graph (useful when
     /// several experiments share one expensive graph instance), through the
     /// same unified engine as [`Experiment::run`].
@@ -431,6 +494,27 @@ impl Experiment {
             }
         };
         Analysis::Computed(predict(n as f64, alpha, delta, 2.0))
+    }
+}
+
+/// Outcome of a cooperative drive: finished, or interrupted at a yield
+/// point by the budget's cancel/drain flag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CooperativeOutcome {
+    /// The experiment ran to completion — the result is bit-identical to
+    /// what [`Experiment::run`] returns.
+    Completed(Box<ExperimentResult>),
+    /// A cancel or drain flag fired; the batch paused here.
+    Interrupted(BatchCheckpoint),
+}
+
+impl CooperativeOutcome {
+    /// The completed result, when the drive finished.
+    pub fn completed(self) -> Option<ExperimentResult> {
+        match self {
+            CooperativeOutcome::Completed(result) => Some(*result),
+            CooperativeOutcome::Interrupted(_) => None,
+        }
     }
 }
 
@@ -704,6 +788,50 @@ mod tests {
             .stopping(StoppingCondition::consensus_within(200_000));
         let result = exp.run().unwrap();
         assert!(!result.red_swept(), "voter unexpectedly swept for red");
+    }
+
+    #[test]
+    fn cooperative_run_is_bit_identical_to_run_and_streams_progress() {
+        let exp = Experiment::on(TopologySpec::ImplicitGnp { n: 1_200, p: 0.4 })
+            .named("coop/gnp")
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.12 })
+            .replicas(4)
+            .seed(19)
+            .threads(1);
+        let direct = exp.run().unwrap();
+        let mut samples = 0usize;
+        let coop = exp
+            .run_cooperative(&RunBudget::rounds_per_slice(1), &mut |_| samples += 1)
+            .unwrap()
+            .completed()
+            .expect("uninterrupted drive completes");
+        assert_eq!(direct, coop);
+        assert!(samples > exp.replicas, "{samples} progress samples");
+    }
+
+    #[test]
+    fn cooperative_run_pauses_when_the_drain_flag_fires() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let exp = Experiment::on(TopologySpec::ImplicitGnp { n: 1_200, p: 0.4 })
+            .named("coop/drain")
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.12 })
+            .replicas(4)
+            .seed(19)
+            .threads(1);
+        let drain = Arc::new(AtomicBool::new(false));
+        let budget = RunBudget::rounds_per_slice(1).with_drain_flag(drain.clone());
+        let setter = drain.clone();
+        let outcome = exp
+            .run_cooperative(&budget, &mut |_| setter.store(true, Ordering::SeqCst))
+            .unwrap();
+        match outcome {
+            CooperativeOutcome::Interrupted(ckpt) => {
+                assert!(ckpt.completed.len() < exp.replicas || ckpt.current.is_some());
+            }
+            CooperativeOutcome::Completed(_) => panic!("drain flag must interrupt the drive"),
+        }
     }
 
     #[test]

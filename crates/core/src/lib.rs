@@ -25,6 +25,8 @@
 //! * [`phases`] — segment measured trajectories into the three phases of
 //!   Lemma 4 (experiment E11);
 //! * [`registry`] — resolve protocol names and enumerate the comparison set;
+//! * [`wire`] — the newline-delimited JSON protocol the `bo3-serve` daemon
+//!   speaks (requests, responses, streamed round updates, typed errors);
 //! * [`report`] / [`summary`] — plain-text, CSV and markdown tables.
 //!
 //! The heavy lifting lives in the substrate crates re-exported below:
@@ -60,6 +62,7 @@ pub mod phases;
 pub mod registry;
 pub mod report;
 pub mod summary;
+pub mod wire;
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use bo3_dag;
@@ -76,7 +79,7 @@ pub mod prelude {
     pub use crate::configio::{FromJson, ToJson};
     pub use crate::duality::{DualityCheck, DualityReport};
     pub use crate::error::{CoreError, Result};
-    pub use crate::experiment::{Analysis, Experiment, ExperimentResult};
+    pub use crate::experiment::{Analysis, CooperativeOutcome, Experiment, ExperimentResult};
     pub use crate::phases::{segment_trace, ObservedPhases, PhaseComparison};
     pub use crate::registry::{
         comparison_protocols, resolve_adversary, resolve_protocol, resolve_topology,
@@ -84,6 +87,9 @@ pub mod prelude {
     };
     pub use crate::report::{fmt_f64, fmt_opt_f64, Table};
     pub use crate::summary::{results_table, trajectory_table};
+    pub use crate::wire::{
+        ErrorCode, JobReport, JobState, JobView, Request, Response, RunUpdate, WireError,
+    };
 
     pub use bo3_dynamics::prelude::*;
     pub use bo3_graph::degree::DegreeStats;

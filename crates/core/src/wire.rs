@@ -1,0 +1,897 @@
+//! Wire protocol for the voting-as-a-service daemon (`bo3-serve`).
+//!
+//! Requests and responses travel as **newline-delimited JSON** over a plain
+//! TCP stream, encoded by the same dependency-free [`crate::configio`] layer
+//! every config file uses.  Payload types ([`Experiment`], [`Campaign`],
+//! reports) keep their exact configio layout, so a config file pastes
+//! straight into a `submit` line, and — because the float writer is
+//! shortest-round-trip lossless — a [`MonteCarloReport`] read back from a
+//! socket compares **bit-identical** (`==`) to the in-process run that
+//! produced it.  That equality is the service determinism contract the
+//! wire-level tests pin.
+//!
+//! # Envelope
+//!
+//! Every line is one JSON object with a `"type"` discriminator:
+//!
+//! ```json
+//! {"type":"submit","experiment":{...}}
+//! {"type":"accepted","job":1}
+//! {"type":"update","job":1,"replicas_done":0,"replicas":4,"replica":0,"round":7,"blue_fraction":0.43,"stop_reason":null}
+//! {"type":"done","job":1,"result":{...}}
+//! {"type":"error","code":"bad-request","message":"..."}
+//! ```
+//!
+//! Malformed lines never kill a connection: the daemon answers with a typed
+//! [`WireError`] ([`ErrorCode::BadRequest`] for unparseable input,
+//! [`ErrorCode::InvalidConfig`] for well-formed configs the engine rejects)
+//! and keeps reading.
+
+use bo3_dynamics::prelude::{MonteCarloReport, ProportionEstimate, Summary};
+
+use crate::campaign::{Campaign, CellResult};
+use crate::configio::{
+    float, invalid, need, need_f64, need_u64, need_usize, obj, FromJson, Json, ToJson,
+};
+use crate::error::Result;
+use crate::experiment::Experiment;
+
+// --- requests ------------------------------------------------------------
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one experiment; answered with [`Response::Accepted`].
+    Submit(Box<Experiment>),
+    /// Submit a whole campaign: every cell becomes one job (per-cell seeds
+    /// already stamped by [`Campaign::add_cell`]); answered with
+    /// [`Response::CampaignAccepted`].
+    SubmitCampaign(Box<Campaign>),
+    /// Ask for the queue and job table, optionally filtered to one job.
+    Status {
+        /// When set, only this job's view is returned.
+        job: Option<u64>,
+    },
+    /// Subscribe to a job's progress: the daemon streams
+    /// [`Response::Update`] lines until the job's terminal response
+    /// ([`Response::Done`] / [`Response::Failed`] / [`Response::Cancelled`]).
+    Stream {
+        /// The job to follow.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Ask for the metrics snapshot as JSON (Prometheus text lives on the
+    /// `GET /metrics` HTTP path instead).
+    Metrics,
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Ask the daemon to drain and exit (same path as SIGTERM).
+    Shutdown,
+}
+
+// --- responses -----------------------------------------------------------
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The experiment was enqueued under this job id.
+    Accepted {
+        /// The new job's id.
+        job: u64,
+    },
+    /// The campaign was enqueued, one job per cell (in cell order).
+    CampaignAccepted {
+        /// The campaign's name.
+        name: String,
+        /// Job ids, indexed like the campaign's cells.
+        jobs: Vec<u64>,
+    },
+    /// Queue and job-table view.
+    Status {
+        /// Jobs waiting for a worker.
+        queue_depth: usize,
+        /// Jobs currently executing.
+        running: usize,
+        /// Per-job views (all jobs, or the one asked for).
+        jobs: Vec<JobView>,
+    },
+    /// A progress sample on a streamed job.
+    Update(RunUpdate),
+    /// The job finished; here is its full result.
+    Done {
+        /// The finished job.
+        job: u64,
+        /// The job's report (bit-identical to the in-process run).
+        result: Box<JobReport>,
+    },
+    /// The job was cancelled before finishing.
+    Cancelled {
+        /// The cancelled job.
+        job: u64,
+    },
+    /// The job's run returned an error.
+    Failed {
+        /// The failed job.
+        job: u64,
+        /// The engine's error message.
+        error: String,
+    },
+    /// The metrics snapshot ([`bo3_obs`]'s JSON envelope, verbatim).
+    Metrics {
+        /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+        snapshot: Json,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Generic acknowledgement (cancel accepted, shutdown begun).
+    Ok,
+    /// A typed protocol error; the connection stays usable.
+    Error(WireError),
+}
+
+/// A round-slice progress event streamed to subscribers.
+///
+/// Mid-run samples carry `stop_reason: None`; the stream's last update (sent
+/// when the batch completes, before the terminal [`Response::Done`]) carries
+/// the batch's stop reason: `"consensus"` when every replica converged,
+/// `"round-limit"` otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunUpdate {
+    /// The job this sample belongs to.
+    pub job: u64,
+    /// Replicas already finished.
+    pub replicas_done: usize,
+    /// Total replicas in the job.
+    pub replicas: usize,
+    /// Index of the in-flight replica.
+    pub replica: usize,
+    /// Rounds applied inside the in-flight replica.
+    pub round: usize,
+    /// Blue fraction of the in-flight configuration.
+    pub blue_fraction: f64,
+    /// Terminal updates only: why the batch stopped.
+    pub stop_reason: Option<String>,
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished with a result.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled (by request or by daemon drain).
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire spelling of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `true` once the job can make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A job-table row as the status endpoint reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// The job's id.
+    pub job: u64,
+    /// Where the job is in its lifecycle.
+    pub state: JobState,
+    /// The submitted experiment's name.
+    pub name: String,
+    /// The failure message, when `state` is [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// The full result of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The submitted experiment's name.
+    pub name: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// The Monte-Carlo report — compares `==` to the in-process run's.
+    pub report: MonteCarloReport,
+    /// For campaign-cell jobs: the cell's summary row, exactly what the
+    /// on-disk campaign runner would have written for this cell.
+    pub cell: Option<CellResult>,
+}
+
+/// Machine-readable protocol error categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not a well-formed request.
+    BadRequest,
+    /// The request parsed but its config is invalid (e.g. zero replicas).
+    InvalidConfig,
+    /// The named job does not exist (or was evicted).
+    UnknownJob,
+    /// The daemon is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::InvalidConfig => "invalid-config",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A typed protocol error, sent instead of closing the connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error response line.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+// --- JSON: requests ------------------------------------------------------
+
+fn envelope_type<'j>(json: &'j Json, what: &str) -> Result<&'j str> {
+    need(json, "type", what)?
+        .as_str()
+        .ok_or_else(|| invalid(format!("{what}.type must be a string")))
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Submit(experiment) => obj(vec![
+                ("type", Json::Str("submit".into())),
+                ("experiment", experiment.to_json()),
+            ]),
+            Request::SubmitCampaign(campaign) => obj(vec![
+                ("type", Json::Str("submit-campaign".into())),
+                ("campaign", campaign.to_json()),
+            ]),
+            Request::Status { job } => match job {
+                Some(job) => obj(vec![
+                    ("type", Json::Str("status".into())),
+                    ("job", Json::UInt(*job)),
+                ]),
+                None => obj(vec![("type", Json::Str("status".into()))]),
+            },
+            Request::Stream { job } => obj(vec![
+                ("type", Json::Str("stream".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Cancel { job } => obj(vec![
+                ("type", Json::Str("cancel".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Metrics => obj(vec![("type", Json::Str("metrics".into()))]),
+            Request::Ping => obj(vec![("type", Json::Str("ping".into()))]),
+            Request::Shutdown => obj(vec![("type", Json::Str("shutdown".into()))]),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(json: &Json) -> Result<Self> {
+        match envelope_type(json, "Request")? {
+            "submit" => Ok(Request::Submit(Box::new(Experiment::from_json(need(
+                json,
+                "experiment",
+                "submit",
+            )?)?))),
+            "submit-campaign" => Ok(Request::SubmitCampaign(Box::new(Campaign::from_json(
+                need(json, "campaign", "submit-campaign")?,
+            )?))),
+            "status" => Ok(Request::Status {
+                job: match json.get("job") {
+                    None | Some(Json::Null) => None,
+                    Some(value) => Some(
+                        value
+                            .as_u64()
+                            .ok_or_else(|| invalid("status.job must be a non-negative integer"))?,
+                    ),
+                },
+            }),
+            "stream" => Ok(Request::Stream {
+                job: need_u64(json, "job", "stream")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: need_u64(json, "job", "cancel")?,
+            }),
+            "metrics" => Ok(Request::Metrics),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(invalid(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+// --- JSON: reports -------------------------------------------------------
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("count", Json::UInt(self.count as u64)),
+            ("mean", float(self.mean)),
+            ("std_dev", float(self.std_dev)),
+            ("min", float(self.min)),
+            ("max", float(self.max)),
+            ("median", float(self.median)),
+            ("p10", float(self.p10)),
+            ("p90", float(self.p90)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "Summary";
+        Ok(Summary {
+            count: need_usize(json, "count", ty)?,
+            mean: need_f64(json, "mean", ty)?,
+            std_dev: need_f64(json, "std_dev", ty)?,
+            min: need_f64(json, "min", ty)?,
+            max: need_f64(json, "max", ty)?,
+            median: need_f64(json, "median", ty)?,
+            p10: need_f64(json, "p10", ty)?,
+            p90: need_f64(json, "p90", ty)?,
+        })
+    }
+}
+
+impl ToJson for ProportionEstimate {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("successes", Json::UInt(self.successes as u64)),
+            ("trials", Json::UInt(self.trials as u64)),
+            ("estimate", float(self.estimate)),
+            ("ci_low", float(self.ci_low)),
+            ("ci_high", float(self.ci_high)),
+        ])
+    }
+}
+
+impl FromJson for ProportionEstimate {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "ProportionEstimate";
+        Ok(ProportionEstimate {
+            successes: need_usize(json, "successes", ty)?,
+            trials: need_usize(json, "trials", ty)?,
+            estimate: need_f64(json, "estimate", ty)?,
+            ci_low: need_f64(json, "ci_low", ty)?,
+            ci_high: need_f64(json, "ci_high", ty)?,
+        })
+    }
+}
+
+fn opt_to_json<T: ToJson>(value: &Option<T>) -> Json {
+    match value {
+        Some(v) => v.to_json(),
+        None => Json::Null,
+    }
+}
+
+fn opt_from_json<T: FromJson>(json: &Json) -> Result<Option<T>> {
+    match json {
+        Json::Null => Ok(None),
+        other => Ok(Some(T::from_json(other)?)),
+    }
+}
+
+impl ToJson for MonteCarloReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "outcomes",
+                Json::Arr(self.outcomes.iter().map(|o| o.to_json()).collect()),
+            ),
+            ("consensus_rate", float(self.consensus_rate)),
+            ("red_win", opt_to_json(&self.red_win)),
+            (
+                "rounds_to_consensus",
+                opt_to_json(&self.rounds_to_consensus),
+            ),
+            ("adversary", opt_to_json(&self.adversary)),
+        ])
+    }
+}
+
+impl FromJson for MonteCarloReport {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "MonteCarloReport";
+        Ok(MonteCarloReport {
+            outcomes: need(json, "outcomes", ty)?
+                .as_array()
+                .ok_or_else(|| invalid("MonteCarloReport.outcomes must be an array"))?
+                .iter()
+                .map(FromJson::from_json)
+                .collect::<Result<Vec<_>>>()?,
+            consensus_rate: need_f64(json, "consensus_rate", ty)?,
+            red_win: opt_from_json(need(json, "red_win", ty)?)?,
+            rounds_to_consensus: opt_from_json(need(json, "rounds_to_consensus", ty)?)?,
+            adversary: opt_from_json(need(json, "adversary", ty)?)?,
+        })
+    }
+}
+
+impl ToJson for JobReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("n", Json::UInt(self.n as u64)),
+            ("report", self.report.to_json()),
+            ("cell", opt_to_json(&self.cell)),
+        ])
+    }
+}
+
+impl FromJson for JobReport {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "JobReport";
+        Ok(JobReport {
+            name: need(json, "name", ty)?
+                .as_str()
+                .ok_or_else(|| invalid("JobReport.name must be a string"))?
+                .to_string(),
+            n: need_usize(json, "n", ty)?,
+            report: MonteCarloReport::from_json(need(json, "report", ty)?)?,
+            cell: opt_from_json(need(json, "cell", ty)?)?,
+        })
+    }
+}
+
+// --- JSON: responses -----------------------------------------------------
+
+impl ToJson for JobState {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().into())
+    }
+}
+
+impl FromJson for JobState {
+    fn from_json(json: &Json) -> Result<Self> {
+        match json.as_str() {
+            Some("queued") => Ok(JobState::Queued),
+            Some("running") => Ok(JobState::Running),
+            Some("done") => Ok(JobState::Done),
+            Some("failed") => Ok(JobState::Failed),
+            Some("cancelled") => Ok(JobState::Cancelled),
+            _ => Err(invalid(format!(
+                "unknown job state {}",
+                json.to_json_string()
+            ))),
+        }
+    }
+}
+
+impl ToJson for JobView {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("job", Json::UInt(self.job)),
+            ("state", self.state.to_json()),
+            ("name", Json::Str(self.name.clone())),
+            (
+                "error",
+                match &self.error {
+                    Some(message) => Json::Str(message.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl FromJson for JobView {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "JobView";
+        Ok(JobView {
+            job: need_u64(json, "job", ty)?,
+            state: JobState::from_json(need(json, "state", ty)?)?,
+            name: need(json, "name", ty)?
+                .as_str()
+                .ok_or_else(|| invalid("JobView.name must be a string"))?
+                .to_string(),
+            error: match need(json, "error", ty)? {
+                Json::Null => None,
+                message => Some(
+                    message
+                        .as_str()
+                        .ok_or_else(|| invalid("JobView.error must be a string or null"))?
+                        .to_string(),
+                ),
+            },
+        })
+    }
+}
+
+impl ToJson for RunUpdate {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("type", Json::Str("update".into())),
+            ("job", Json::UInt(self.job)),
+            ("replicas_done", Json::UInt(self.replicas_done as u64)),
+            ("replicas", Json::UInt(self.replicas as u64)),
+            ("replica", Json::UInt(self.replica as u64)),
+            ("round", Json::UInt(self.round as u64)),
+            ("blue_fraction", float(self.blue_fraction)),
+            (
+                "stop_reason",
+                match &self.stop_reason {
+                    Some(reason) => Json::Str(reason.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl FromJson for RunUpdate {
+    fn from_json(json: &Json) -> Result<Self> {
+        let ty = "RunUpdate";
+        Ok(RunUpdate {
+            job: need_u64(json, "job", ty)?,
+            replicas_done: need_usize(json, "replicas_done", ty)?,
+            replicas: need_usize(json, "replicas", ty)?,
+            replica: need_usize(json, "replica", ty)?,
+            round: need_usize(json, "round", ty)?,
+            blue_fraction: need_f64(json, "blue_fraction", ty)?,
+            stop_reason: match need(json, "stop_reason", ty)? {
+                Json::Null => None,
+                reason => Some(
+                    reason
+                        .as_str()
+                        .ok_or_else(|| invalid("RunUpdate.stop_reason must be a string or null"))?
+                        .to_string(),
+                ),
+            },
+        })
+    }
+}
+
+impl ToJson for WireError {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("type", Json::Str("error".into())),
+            ("code", Json::Str(self.code.as_str().into())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl FromJson for WireError {
+    fn from_json(json: &Json) -> Result<Self> {
+        let code = match need(json, "code", "WireError")?.as_str() {
+            Some("bad-request") => ErrorCode::BadRequest,
+            Some("invalid-config") => ErrorCode::InvalidConfig,
+            Some("unknown-job") => ErrorCode::UnknownJob,
+            Some("shutting-down") => ErrorCode::ShuttingDown,
+            other => return Err(invalid(format!("unknown error code {other:?}"))),
+        };
+        Ok(WireError {
+            code,
+            message: need(json, "message", "WireError")?
+                .as_str()
+                .ok_or_else(|| invalid("WireError.message must be a string"))?
+                .to_string(),
+        })
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Accepted { job } => obj(vec![
+                ("type", Json::Str("accepted".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Response::CampaignAccepted { name, jobs } => obj(vec![
+                ("type", Json::Str("campaign-accepted".into())),
+                ("name", Json::Str(name.clone())),
+                (
+                    "jobs",
+                    Json::Arr(jobs.iter().map(|&j| Json::UInt(j)).collect()),
+                ),
+            ]),
+            Response::Status {
+                queue_depth,
+                running,
+                jobs,
+            } => obj(vec![
+                ("type", Json::Str("status".into())),
+                ("queue_depth", Json::UInt(*queue_depth as u64)),
+                ("running", Json::UInt(*running as u64)),
+                (
+                    "jobs",
+                    Json::Arr(jobs.iter().map(|j| j.to_json()).collect()),
+                ),
+            ]),
+            Response::Update(update) => update.to_json(),
+            Response::Done { job, result } => obj(vec![
+                ("type", Json::Str("done".into())),
+                ("job", Json::UInt(*job)),
+                ("result", result.to_json()),
+            ]),
+            Response::Cancelled { job } => obj(vec![
+                ("type", Json::Str("cancelled".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Response::Failed { job, error } => obj(vec![
+                ("type", Json::Str("failed".into())),
+                ("job", Json::UInt(*job)),
+                ("error", Json::Str(error.clone())),
+            ]),
+            Response::Metrics { snapshot } => obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("snapshot", snapshot.clone()),
+            ]),
+            Response::Pong => obj(vec![("type", Json::Str("pong".into()))]),
+            Response::Ok => obj(vec![("type", Json::Str("ok".into()))]),
+            Response::Error(error) => error.to_json(),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(json: &Json) -> Result<Self> {
+        match envelope_type(json, "Response")? {
+            "accepted" => Ok(Response::Accepted {
+                job: need_u64(json, "job", "accepted")?,
+            }),
+            "campaign-accepted" => Ok(Response::CampaignAccepted {
+                name: need(json, "name", "campaign-accepted")?
+                    .as_str()
+                    .ok_or_else(|| invalid("campaign-accepted.name must be a string"))?
+                    .to_string(),
+                jobs: need(json, "jobs", "campaign-accepted")?
+                    .as_array()
+                    .ok_or_else(|| invalid("campaign-accepted.jobs must be an array"))?
+                    .iter()
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| invalid("campaign-accepted.jobs must hold integers"))
+                    })
+                    .collect::<Result<Vec<u64>>>()?,
+            }),
+            "status" => Ok(Response::Status {
+                queue_depth: need_usize(json, "queue_depth", "status")?,
+                running: need_usize(json, "running", "status")?,
+                jobs: need(json, "jobs", "status")?
+                    .as_array()
+                    .ok_or_else(|| invalid("status.jobs must be an array"))?
+                    .iter()
+                    .map(JobView::from_json)
+                    .collect::<Result<Vec<_>>>()?,
+            }),
+            "update" => Ok(Response::Update(RunUpdate::from_json(json)?)),
+            "done" => Ok(Response::Done {
+                job: need_u64(json, "job", "done")?,
+                result: Box::new(JobReport::from_json(need(json, "result", "done")?)?),
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: need_u64(json, "job", "cancelled")?,
+            }),
+            "failed" => Ok(Response::Failed {
+                job: need_u64(json, "job", "failed")?,
+                error: need(json, "error", "failed")?
+                    .as_str()
+                    .ok_or_else(|| invalid("failed.error must be a string"))?
+                    .to_string(),
+            }),
+            "metrics" => Ok(Response::Metrics {
+                snapshot: need(json, "snapshot", "metrics")?.clone(),
+            }),
+            "pong" => Ok(Response::Pong),
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error(WireError::from_json(json)?)),
+            other => Err(invalid(format!("unknown response type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bo3_dynamics::prelude::{InitialCondition, Opinion, ReplicaOutcome};
+    use bo3_graph::TopologySpec;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = value.to_json_string();
+        let back = T::from_json_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(&back, value, "{text}");
+    }
+
+    fn sample_experiment() -> Experiment {
+        Experiment::on(TopologySpec::ImplicitGnp { n: 2_000, p: 0.4 })
+            .named("wire/sample")
+            .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+            .replicas(3)
+            .seed(11)
+            .threads(1)
+    }
+
+    fn sample_report() -> MonteCarloReport {
+        MonteCarloReport {
+            outcomes: vec![
+                ReplicaOutcome {
+                    replica: 0,
+                    winner: Some(Opinion::Red),
+                    rounds: 9,
+                    initial_blue_fraction: 0.351,
+                    final_blue_fraction: 0.0,
+                    adversary: None,
+                },
+                ReplicaOutcome {
+                    replica: 1,
+                    winner: None,
+                    rounds: 64,
+                    initial_blue_fraction: 0.5,
+                    final_blue_fraction: 0.493,
+                    adversary: None,
+                },
+            ],
+            consensus_rate: 0.5,
+            red_win: ProportionEstimate::new(1, 1),
+            rounds_to_consensus: Summary::of(&[9.0]),
+            adversary: None,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(&Request::Submit(Box::new(sample_experiment())));
+        let campaign = Campaign::new("wire/campaign", 5)
+            .add_cell(sample_experiment())
+            .add_cell(sample_experiment());
+        round_trip(&Request::SubmitCampaign(Box::new(campaign)));
+        round_trip(&Request::Status { job: None });
+        round_trip(&Request::Status { job: Some(3) });
+        round_trip(&Request::Stream { job: 7 });
+        round_trip(&Request::Cancel { job: 7 });
+        round_trip(&Request::Metrics);
+        round_trip(&Request::Ping);
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(&Response::Accepted { job: 1 });
+        round_trip(&Response::CampaignAccepted {
+            name: "c".into(),
+            jobs: vec![1, 2, 3],
+        });
+        round_trip(&Response::Status {
+            queue_depth: 2,
+            running: 1,
+            jobs: vec![
+                JobView {
+                    job: 1,
+                    state: JobState::Running,
+                    name: "a".into(),
+                    error: None,
+                },
+                JobView {
+                    job: 2,
+                    state: JobState::Failed,
+                    name: "b".into(),
+                    error: Some("boom".into()),
+                },
+            ],
+        });
+        round_trip(&Response::Update(RunUpdate {
+            job: 4,
+            replicas_done: 1,
+            replicas: 3,
+            replica: 1,
+            round: 12,
+            blue_fraction: 0.25,
+            stop_reason: None,
+        }));
+        round_trip(&Response::Update(RunUpdate {
+            job: 4,
+            replicas_done: 3,
+            replicas: 3,
+            replica: 3,
+            round: 0,
+            blue_fraction: 0.0,
+            stop_reason: Some("consensus".into()),
+        }));
+        round_trip(&Response::Done {
+            job: 4,
+            result: Box::new(JobReport {
+                name: "wire/sample".into(),
+                n: 2_000,
+                report: sample_report(),
+                cell: Some(CellResult {
+                    index: 0,
+                    name: "wire/sample".into(),
+                    replicas: 2,
+                    consensus_rate: 0.5,
+                    red_win_rate: Some(1.0),
+                    mean_rounds: Some(9.0),
+                    mean_final_blue: 0.2465,
+                    polarisation_rate: 0.0,
+                }),
+            }),
+        });
+        round_trip(&Response::Cancelled { job: 4 });
+        round_trip(&Response::Failed {
+            job: 5,
+            error: "validate: zero replicas".into(),
+        });
+        round_trip(&Response::Metrics {
+            snapshot: Json::parse("{\"counters\":{\"a\":1}}").unwrap(),
+        });
+        round_trip(&Response::Pong);
+        round_trip(&Response::Ok);
+        round_trip(&Response::Error(WireError::new(
+            ErrorCode::UnknownJob,
+            "job 9 does not exist",
+        )));
+    }
+
+    #[test]
+    fn reports_round_trip_bit_exactly() {
+        // The determinism contract end to end in miniature: a real report
+        // through JSON text and back compares equal, floats included.
+        let report = sample_report();
+        round_trip(&report);
+        round_trip(&Summary::of(&[1.0, 2.5, 9.125, 4.0 / 3.0]).unwrap());
+        round_trip(&ProportionEstimate::new(7, 13).unwrap());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::from_json_str("garbage").is_err());
+        assert!(Request::from_json_str("{}").is_err());
+        assert!(Request::from_json_str("{\"type\":\"launch\"}").is_err());
+        assert!(Request::from_json_str("{\"type\":\"submit\"}").is_err());
+        assert!(Request::from_json_str("{\"type\":\"stream\"}").is_err());
+        assert!(Request::from_json_str("{\"type\":\"cancel\",\"job\":-1}").is_err());
+    }
+
+    #[test]
+    fn golden_submit_line() {
+        // Pins the envelope layout the README documents.
+        let line = Request::Stream { job: 2 }.to_json_string();
+        assert_eq!(line, "{\"type\":\"stream\",\"job\":2}");
+        let error = WireError::new(ErrorCode::BadRequest, "not JSON").to_json_string();
+        assert_eq!(
+            error,
+            "{\"type\":\"error\",\"code\":\"bad-request\",\"message\":\"not JSON\"}"
+        );
+    }
+}

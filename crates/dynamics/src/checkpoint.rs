@@ -73,6 +73,12 @@ pub struct RunBudget {
     /// Pause at the next round boundary once this flag is set — the hook a
     /// SIGINT/SIGTERM handler flips.
     pub cancel_flag: Option<Arc<AtomicBool>>,
+    /// A second, independently owned cancellation source checked exactly
+    /// like [`RunBudget::cancel_flag`].  A supervising daemon shares one
+    /// drain flag across *every* in-flight budget while each job keeps its
+    /// own `cancel_flag`, so a graceful shutdown (SIGTERM) pauses all work
+    /// within one round slice without disturbing per-job cancellation.
+    pub drain_flag: Option<Arc<AtomicBool>>,
 }
 
 impl RunBudget {
@@ -89,6 +95,12 @@ impl RunBudget {
         }
     }
 
+    /// Sets the per-slice round cap on an existing budget.
+    pub fn with_rounds_per_slice(mut self, rounds: usize) -> Self {
+        self.max_rounds_per_slice = Some(rounds);
+        self
+    }
+
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
@@ -101,11 +113,24 @@ impl RunBudget {
         self
     }
 
-    /// `true` once the cancel flag is set or the deadline has passed —
-    /// the two *external* interruption sources (used by batch drivers to
-    /// also yield at replica boundaries, where no round slice applies).
+    /// Sets the drain flag — a daemon-owned cancellation source layered
+    /// *alongside* the per-run [`RunBudget::cancel_flag`], so one SIGTERM
+    /// handler can interrupt every in-flight run at its next round boundary.
+    pub fn with_drain_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.drain_flag = Some(flag);
+        self
+    }
+
+    /// `true` once either cancellation flag is set or the deadline has
+    /// passed — the *external* interruption sources (used by batch drivers
+    /// to also yield at replica boundaries, where no round slice applies).
     pub fn interrupted(&self) -> bool {
         if let Some(flag) = &self.cancel_flag {
+            if flag.load(Ordering::SeqCst) {
+                return true;
+            }
+        }
+        if let Some(flag) = &self.drain_flag {
             if flag.load(Ordering::SeqCst) {
                 return true;
             }
@@ -312,5 +337,24 @@ mod tests {
         assert!(RunBudget::unlimited().with_deadline(past).interrupted());
         let far = Instant::now() + std::time::Duration::from_secs(3600);
         assert!(!RunBudget::unlimited().with_deadline(far).interrupted());
+    }
+
+    #[test]
+    fn drain_flag_interrupts_independently_of_the_cancel_flag() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let budget = RunBudget::unlimited()
+            .with_cancel_flag(cancel.clone())
+            .with_drain_flag(drain.clone());
+        assert!(!budget.interrupted());
+        // The daemon-owned drain flag fires with the per-job flag untouched.
+        drain.store(true, Ordering::SeqCst);
+        assert!(budget.interrupted());
+        assert!(budget.should_pause(0));
+        assert!(!cancel.load(Ordering::SeqCst));
+        // And vice versa: the per-job flag alone still interrupts.
+        drain.store(false, Ordering::SeqCst);
+        cancel.store(true, Ordering::SeqCst);
+        assert!(budget.interrupted());
     }
 }

@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::init::InitialCondition;
     pub use crate::kernel::{kernel_chunk_rng, DynOnly, KernelRng, PackedSnapshot, ProtocolKind};
     pub use crate::montecarlo::{
-        BatchCheckpoint, BatchOutcome, MonteCarlo, MonteCarloReport, ReplicaOutcome,
+        BatchCheckpoint, BatchOutcome, BatchProgress, MonteCarlo, MonteCarloReport, ReplicaOutcome,
         BATCH_CHECKPOINT_VERSION,
     };
     pub use crate::observe::{MetricsObserver, NoopObserver, Observer};

@@ -83,6 +83,60 @@ pub enum BatchOutcome {
     Paused(BatchCheckpoint),
 }
 
+/// A progress sample handed to the [`MonteCarlo::run_on_topology_cooperative`]
+/// callback at every slice boundary — the quantities a streaming subscriber
+/// wants per round-slice, derived purely from the batch checkpoint (so
+/// observing progress can never perturb the run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchProgress {
+    /// Replicas already finished.
+    pub replicas_done: usize,
+    /// Total replicas in the batch.
+    pub replicas: usize,
+    /// Index of the in-flight replica (`replicas_done` while one is paused
+    /// mid-run; equal to `replicas_done` at a replica boundary too).
+    pub replica: usize,
+    /// Rounds already applied inside the in-flight replica (`0` at a replica
+    /// boundary).
+    pub round: usize,
+    /// Blue fraction of the in-flight replica's paused configuration; at a
+    /// replica boundary, the last finished replica's final blue fraction
+    /// (`0.0` before any replica ran).
+    pub blue_fraction: f64,
+}
+
+impl BatchProgress {
+    /// Derives the progress sample a paused batch exposes.
+    fn of(ckpt: &BatchCheckpoint, replicas: usize) -> Self {
+        let replicas_done = ckpt.completed.len();
+        match &ckpt.current {
+            Some(run) => BatchProgress {
+                replicas_done,
+                replicas,
+                replica: replicas_done,
+                round: run.round,
+                blue_fraction: if run.n == 0 {
+                    0.0
+                } else {
+                    let blues: u32 = run.opinion_words.iter().map(|w| w.count_ones()).sum();
+                    f64::from(blues) / run.n as f64
+                },
+            },
+            None => BatchProgress {
+                replicas_done,
+                replicas,
+                replica: replicas_done,
+                round: 0,
+                blue_fraction: ckpt
+                    .completed
+                    .last()
+                    .map(|o| o.final_blue_fraction)
+                    .unwrap_or(0.0),
+            },
+        }
+    }
+}
+
 impl BatchOutcome {
     /// The completed report, if the batch finished.
     pub fn completed(self) -> Option<MonteCarloReport> {
@@ -348,6 +402,41 @@ impl MonteCarlo {
         Ok(BatchOutcome::Completed(MonteCarloReport::from_outcomes(
             outcomes,
         )))
+    }
+
+    /// Drives the batch to completion under a [`RunBudget`], reporting a
+    /// [`BatchProgress`] sample at every slice boundary — the cooperative
+    /// flavour a long-running service wants: the budget's slice cap sets the
+    /// yield cadence, the callback streams progress, and the cancel/drain
+    /// flags still interrupt the drive (returning
+    /// [`BatchOutcome::Paused`] so the caller can persist or discard the
+    /// checkpoint).
+    ///
+    /// The progress callback only *observes* checkpoints — replica seeding
+    /// and round streams are untouched — so the completed report is
+    /// bit-identical to [`MonteCarlo::run_on_topology`] (and to
+    /// [`MonteCarlo::run_on_topology_resumable`] driven by hand), whatever
+    /// the slice size or thread count.
+    pub fn run_on_topology_cooperative<T: Topology>(
+        &self,
+        topo: &T,
+        resume: Option<BatchCheckpoint>,
+        budget: &RunBudget,
+        on_progress: &mut dyn FnMut(&BatchProgress),
+    ) -> Result<BatchOutcome> {
+        let mut resume = resume;
+        loop {
+            match self.run_on_topology_resumable(topo, resume.take(), budget)? {
+                BatchOutcome::Completed(report) => return Ok(BatchOutcome::Completed(report)),
+                BatchOutcome::Paused(ckpt) => {
+                    if budget.interrupted() {
+                        return Ok(BatchOutcome::Paused(ckpt));
+                    }
+                    on_progress(&BatchProgress::of(&ckpt, self.replicas));
+                    resume = Some(ckpt);
+                }
+            }
+        }
     }
 
     /// Summarises a finished run as the replica's outcome row.
@@ -712,6 +801,78 @@ mod tests {
         flag.store(false, Ordering::SeqCst);
         let report = mc
             .run_on_topology_resumable(&topo, Some(paused), &budget)
+            .unwrap()
+            .completed()
+            .expect("cleared flag completes");
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn cooperative_drive_matches_plain_run_and_streams_progress() {
+        use crate::checkpoint::RunBudget;
+
+        let topo = bo3_graph::ImplicitGnp::new(900, 0.5, 33).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.08, 4, 17);
+        mc.threads = 2;
+        let plain = mc.run_on_topology(&topo).unwrap();
+
+        let budget = RunBudget::rounds_per_slice(1);
+        let mut samples: Vec<BatchProgress> = Vec::new();
+        let report = mc
+            .run_on_topology_cooperative(&topo, None, &budget, &mut |p| samples.push(*p))
+            .unwrap()
+            .completed()
+            .expect("uninterrupted cooperative drive completes");
+        assert_eq!(plain, report);
+
+        // One-round slices sample every round of every replica; the stream
+        // is monotone in (replicas_done, round) and carries live fractions.
+        assert!(samples.len() > mc.replicas, "{} samples", samples.len());
+        assert!(samples
+            .windows(2)
+            .all(|w| { (w[1].replicas_done, w[1].round) >= (w[0].replicas_done, w[0].round) }));
+        assert!(samples.iter().all(|p| p.replicas == mc.replicas
+            && p.replica <= mc.replicas
+            && (0.0..=1.0).contains(&p.blue_fraction)));
+        // Mid-run samples expose the paused configuration's blue fraction.
+        assert!(samples
+            .windows(2)
+            .any(|w| w[0].replica == w[1].replica && w[0].blue_fraction != w[1].blue_fraction));
+    }
+
+    #[test]
+    fn cooperative_drive_pauses_on_cancel_and_resumes_to_the_same_report() {
+        use crate::checkpoint::RunBudget;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let topo = bo3_graph::ImplicitGnp::new(900, 0.5, 41).unwrap();
+        let mut mc = MonteCarlo::best_of_three(0.08, 3, 23);
+        mc.threads = 1;
+        let plain = mc.run_on_topology(&topo).unwrap();
+
+        // Flip the flag from inside the progress callback: the very next
+        // slice boundary must surface the checkpoint instead of continuing.
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = RunBudget::rounds_per_slice(1).with_cancel_flag(flag.clone());
+        let mut seen = 0usize;
+        let setter = flag.clone();
+        let paused = mc
+            .run_on_topology_cooperative(&topo, None, &budget, &mut |_| {
+                seen += 1;
+                if seen == 3 {
+                    setter.store(true, Ordering::SeqCst);
+                }
+            })
+            .unwrap()
+            .paused()
+            .expect("cancelled drive pauses");
+        assert_eq!(seen, 3, "no progress after the flag flipped");
+
+        // Clearing the flag and resuming completes to the identical report.
+        flag.store(false, Ordering::SeqCst);
+        let report = mc
+            .run_on_topology_cooperative(&topo, Some(paused), &budget, &mut |_| {})
             .unwrap()
             .completed()
             .expect("cleared flag completes");

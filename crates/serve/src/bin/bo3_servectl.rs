@@ -1,0 +1,214 @@
+//! `bo3-servectl` — command-line client for the `bo3_served` daemon.
+//!
+//! ```text
+//! bo3_servectl <command> [--addr HOST:PORT] [args…]
+//!
+//! Commands:
+//!   ping                         liveness probe
+//!   submit [--file F] [--wait]   submit an experiment (JSON from F or stdin);
+//!                                prints the job id, with --wait streams to the
+//!                                terminal line and prints it
+//!   submit-campaign [--file F]   submit a campaign; every cell becomes a job
+//!   status [JOB]                 queue/job-table view (all jobs, or one)
+//!   stream JOB                   follow a job's updates to its terminal line
+//!   cancel JOB                   cancel a queued or running job
+//!   metrics [--json]             GET /metrics (Prometheus), or the JSON snapshot
+//!   shutdown                     ask the daemon to drain and exit
+//!   run-local [--file F]         run the experiment in-process and print its
+//!                                MonteCarloReport JSON (for determinism diffs)
+//!   example-experiment           print a quick implicit-G(n,p) experiment JSON
+//!   example-blocker              print a deliberately slow experiment JSON
+//!   example-campaign             print a quick two-cell campaign JSON
+//! ```
+//!
+//! Every wire line the daemon sends is printed verbatim, so the output is
+//! scriptable with any JSON tool.
+
+use std::io::Read;
+
+use bo3_core::prelude::*;
+use bo3_serve::{http_get, Client};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+struct Args {
+    command: String,
+    addr: String,
+    file: Option<String>,
+    wait: bool,
+    json: bool,
+    job: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".into());
+    let mut args = Args {
+        command,
+        addr: DEFAULT_ADDR.into(),
+        file: None,
+        wait: false,
+        json: false,
+        job: None,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => {
+                if let Some(v) = argv.next() {
+                    args.addr = v;
+                }
+            }
+            "--file" => args.file = argv.next(),
+            "--wait" => args.wait = true,
+            "--json" => args.json = true,
+            other => match other.parse() {
+                Ok(job) => args.job = Some(job),
+                Err(_) => eprintln!("ignoring unknown argument '{other}'"),
+            },
+        }
+    }
+    args
+}
+
+fn read_input(file: &Option<String>) -> Result<String> {
+    match file {
+        Some(path) => Ok(std::fs::read_to_string(path)?),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            Ok(buf)
+        }
+    }
+}
+
+/// A quick, CI-sized experiment on the implicit `G(n, p)` topology.
+fn example_experiment() -> Experiment {
+    Experiment::on(TopologySpec::ImplicitGnp { n: 5_000, p: 0.3 })
+        .named("servectl/example")
+        .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+        .replicas(3)
+        .seed(1905)
+}
+
+/// A deliberately slow experiment (voter model: Θ(n) rounds on the
+/// complete graph) — CI submits it before SIGTERM so the drain always
+/// catches a job mid-run.
+fn example_blocker() -> Experiment {
+    Experiment::on(TopologySpec::Complete { n: 4_000 })
+        .named("servectl/blocker")
+        .protocol(ProtocolSpec::Voter)
+        .initial(InitialCondition::BernoulliWithBias { delta: 1e-6 })
+        .stopping(StoppingCondition::consensus_within(1_000_000))
+        .replicas(16)
+        .seed(4242)
+}
+
+/// A quick two-cell campaign (per-cell seeds stamped by the builder).
+fn example_campaign() -> Campaign {
+    Campaign::new("servectl/example-campaign", 77)
+        .add_cell(
+            Experiment::on(TopologySpec::Complete { n: 3_000 })
+                .named("cell/complete")
+                .initial(InitialCondition::BernoulliWithBias { delta: 0.2 })
+                .replicas(2),
+        )
+        .add_cell(
+            Experiment::on(TopologySpec::ImplicitGnp { n: 4_000, p: 0.4 })
+                .named("cell/gnp")
+                .initial(InitialCondition::BernoulliWithBias { delta: 0.1 })
+                .replicas(2),
+        )
+}
+
+fn stream_to_terminal(client: &mut Client, job: u64) -> Result<()> {
+    client.send(&Request::Stream { job })?;
+    loop {
+        let response = client.recv()?;
+        println!("{}", response.to_json_string());
+        match response {
+            Response::Update(_) => {}
+            Response::Error(e) => {
+                return Err(CoreError::Report {
+                    reason: format!("{}: {}", e.code.as_str(), e.message),
+                })
+            }
+            _ => return Ok(()), // done / cancelled / failed: terminal
+        }
+    }
+}
+
+fn run(args: Args) -> Result<()> {
+    match args.command.as_str() {
+        "ping" => {
+            Client::connect(&args.addr)?.ping()?;
+            println!("pong");
+        }
+        "submit" => {
+            let experiment = Experiment::from_json_str(&read_input(&args.file)?)?;
+            let mut client = Client::connect(&args.addr)?;
+            let job = client.submit(&experiment)?;
+            println!("{}", Response::Accepted { job }.to_json_string());
+            if args.wait {
+                stream_to_terminal(&mut client, job)?;
+            }
+        }
+        "submit-campaign" => {
+            let campaign = Campaign::from_json_str(&read_input(&args.file)?)?;
+            let mut client = Client::connect(&args.addr)?;
+            let (name, jobs) = client.submit_campaign(&campaign)?;
+            println!(
+                "{}",
+                Response::CampaignAccepted { name, jobs }.to_json_string()
+            );
+        }
+        "status" => {
+            let status = Client::connect(&args.addr)?.status(args.job)?;
+            println!("{}", status.to_json_string());
+        }
+        "stream" => {
+            let job = args.job.ok_or_else(|| CoreError::Report {
+                reason: "stream needs a job id".into(),
+            })?;
+            stream_to_terminal(&mut Client::connect(&args.addr)?, job)?;
+        }
+        "cancel" => {
+            let job = args.job.ok_or_else(|| CoreError::Report {
+                reason: "cancel needs a job id".into(),
+            })?;
+            Client::connect(&args.addr)?.cancel(job)?;
+            println!("{}", Response::Ok.to_json_string());
+        }
+        "metrics" => {
+            if args.json {
+                let snapshot = Client::connect(&args.addr)?.metrics()?;
+                println!("{}", snapshot.to_json_string());
+            } else {
+                print!("{}", http_get(&args.addr, "/metrics")?);
+            }
+        }
+        "shutdown" => {
+            Client::connect(&args.addr)?.shutdown()?;
+            println!("{}", Response::Ok.to_json_string());
+        }
+        "run-local" => {
+            let experiment = Experiment::from_json_str(&read_input(&args.file)?)?;
+            let result = experiment.run()?;
+            println!("{}", result.report.to_json_string());
+        }
+        "example-experiment" => println!("{}", example_experiment().to_json_string()),
+        "example-blocker" => println!("{}", example_blocker().to_json_string()),
+        "example-campaign" => println!("{}", example_campaign().to_json_string()),
+        other => {
+            eprintln!("unknown command '{other}'; see the module docs for usage");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run(parse_args()) {
+        eprintln!("bo3_servectl: {e}");
+        std::process::exit(1);
+    }
+}

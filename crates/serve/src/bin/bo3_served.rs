@@ -1,0 +1,143 @@
+//! `bo3_served` — the voting-as-a-service daemon.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bo3-serve --bin bo3_served -- \
+//!     [--addr 127.0.0.1:7171] [--workers N] [--slice ROUNDS] \
+//!     [--ttl-secs S] [--grace-secs S] [--events PATH]
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT (or a wire-level `shutdown` request), then
+//! drains gracefully: new submissions are refused, queued jobs are
+//! cancelled, in-flight jobs stop at the next round slice, every `stream`
+//! subscriber receives a terminal line, and the process exits 0.  With
+//! `--events PATH` the event log (including the drain deadline and
+//! completion records) is written atomically on exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use bo3_core::campaign::atomic_write;
+use bo3_serve::{Service, ServiceConfig};
+
+/// The drain flag the signal handler flips (a C signal handler cannot
+/// capture an `Arc`, so the flag is parked in a static).
+static TERM: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod signals {
+    use super::{Ordering, TERM};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.  The main loop polls the
+        // flag and triggers the daemon's first-class drain.
+        if let Some(flag) = TERM.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers (after `TERM` is set).
+    #[allow(unsafe_code)]
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No signal wiring off Unix — the wire-level `shutdown` request still
+    /// drains the daemon.
+    pub fn install() {}
+}
+
+struct Args {
+    config: ServiceConfig,
+    events_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7171".into(),
+        ..ServiceConfig::default()
+    };
+    let mut events_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                if let Some(v) = args.next() {
+                    config.addr = v;
+                }
+            }
+            "--workers" => {
+                if let Some(v) = args.next() {
+                    config.workers = v.parse().unwrap_or(config.workers);
+                }
+            }
+            "--slice" => {
+                if let Some(v) = args.next() {
+                    config.rounds_per_slice = v.parse().unwrap_or(config.rounds_per_slice);
+                }
+            }
+            "--ttl-secs" => {
+                if let Some(v) = args.next() {
+                    if let Ok(secs) = v.parse() {
+                        config.job_ttl = Duration::from_secs(secs);
+                    }
+                }
+            }
+            "--grace-secs" => {
+                if let Some(v) = args.next() {
+                    if let Ok(secs) = v.parse() {
+                        config.drain_grace = Duration::from_secs(secs);
+                    }
+                }
+            }
+            "--events" => events_path = args.next(),
+            other => eprintln!("ignoring unknown argument '{other}'"),
+        }
+    }
+    Args {
+        config,
+        events_path,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let term = TERM
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    signals::install();
+    let handle = match Service::start(args.config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bo3_served: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("bo3_served listening on {}", handle.local_addr());
+    while !term.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("bo3_served: draining…");
+    let events = handle.drain_and_join();
+    if let Some(path) = args.events_path {
+        if let Err(e) = atomic_write(std::path::Path::new(&path), &events) {
+            eprintln!("bo3_served: could not write event log to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("bo3_served: drained cleanly");
+}

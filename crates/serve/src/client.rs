@@ -1,0 +1,192 @@
+//! A small blocking client for the daemon's NDJSON protocol.
+//!
+//! Used by `bo3-servectl`, the load generator and the wire-level tests; it
+//! is deliberately the *only* client code in the workspace, so every
+//! consumer exercises the same framing the daemon's tests pin.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bo3_core::configio::Json;
+use bo3_core::prelude::{
+    Campaign, CoreError, Experiment, FromJson, JobReport, Request, Response, Result, RunUpdate,
+    ToJson, WireError,
+};
+use bo3_core::wire::ErrorCode;
+
+/// Maps a typed wire error onto the workspace error type.
+fn wire_error(e: WireError) -> CoreError {
+    match e.code {
+        ErrorCode::InvalidConfig => CoreError::InvalidConfig { reason: e.message },
+        code => CoreError::Report {
+            reason: format!("{}: {}", code.as_str(), e.message),
+        },
+    }
+}
+
+fn unexpected(context: &str, response: &Response) -> CoreError {
+    CoreError::Report {
+        reason: format!(
+            "unexpected response to {context}: {}",
+            response.to_json_string()
+        ),
+    }
+}
+
+/// A blocking NDJSON connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        self.writer.write_all(request.to_json_string().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response line.
+    pub fn recv(&mut self) -> Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(CoreError::Report {
+                reason: "connection closed by daemon".into(),
+            });
+        }
+        Response::from_json_str(line.trim())
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Submits one experiment; returns its job id.
+    pub fn submit(&mut self, experiment: &Experiment) -> Result<u64> {
+        match self.request(&Request::Submit(Box::new(experiment.clone())))? {
+            Response::Accepted { job } => Ok(job),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("submit", &other)),
+        }
+    }
+
+    /// Submits a campaign; returns its name and the per-cell job ids.
+    pub fn submit_campaign(&mut self, campaign: &Campaign) -> Result<(String, Vec<u64>)> {
+        match self.request(&Request::SubmitCampaign(Box::new(campaign.clone())))? {
+            Response::CampaignAccepted { name, jobs } => Ok((name, jobs)),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("submit-campaign", &other)),
+        }
+    }
+
+    /// Streams a job to its terminal response, collecting every
+    /// [`RunUpdate`] along the way.
+    pub fn stream(&mut self, job: u64) -> Result<(Vec<RunUpdate>, Response)> {
+        self.send(&Request::Stream { job })?;
+        let mut updates = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Update(update) => updates.push(update),
+                Response::Error(e) => return Err(wire_error(e)),
+                terminal => return Ok((updates, terminal)),
+            }
+        }
+    }
+
+    /// Streams a job and returns its finished report, or an error for any
+    /// other terminal state.
+    pub fn wait_done(&mut self, job: u64) -> Result<Box<JobReport>> {
+        match self.stream(job)?.1 {
+            Response::Done { result, .. } => Ok(result),
+            Response::Cancelled { job } => Err(CoreError::Report {
+                reason: format!("job {job} was cancelled"),
+            }),
+            Response::Failed { error, .. } => Err(CoreError::Report { reason: error }),
+            other => Err(unexpected("stream", &other)),
+        }
+    }
+
+    /// Cancels a job.
+    pub fn cancel(&mut self, job: u64) -> Result<()> {
+        match self.request(&Request::Cancel { job })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("cancel", &other)),
+        }
+    }
+
+    /// The queue / job-table view.
+    pub fn status(&mut self, job: Option<u64>) -> Result<Response> {
+        match self.request(&Request::Status { job })? {
+            status @ Response::Status { .. } => Ok(status),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("status", &other)),
+        }
+    }
+
+    /// The metrics snapshot as JSON.
+    pub fn metrics(&mut self) -> Result<Json> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit (the SIGTERM path, over the wire).
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(wire_error(e)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+/// One-shot HTTP GET against the daemon (for `/metrics`); returns the body.
+pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str) -> Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: daemon\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CoreError::Report {
+            reason: "malformed HTTP response".into(),
+        })?;
+    let status_line = head.lines().next().unwrap_or_default();
+    if !status_line.contains("200") {
+        return Err(CoreError::Report {
+            reason: format!("HTTP error: {status_line}"),
+        });
+    }
+    Ok(body.to_string())
+}

@@ -1,0 +1,512 @@
+//! Job table, FIFO queue and subscription fan-out.
+//!
+//! The scheduler is the daemon's single source of truth: one mutex-guarded
+//! `State` holds every job (queued, running or terminal) plus the FIFO
+//! queue of job ids waiting for a worker.  Workers block on a condvar; the
+//! transport threads only ever take the lock briefly (submit, status,
+//! subscribe, cancel), so slow sockets never stall the run loop.
+//!
+//! Concurrency is bounded by the worker pool (the daemon's core budget),
+//! never by the queue: any number of jobs can wait, at most `workers` run.
+//! Terminal jobs linger for [`crate::ServiceConfig::job_ttl`] so late
+//! `status`/`stream` requests still see them, then are lazily evicted the
+//! next time the table is touched.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bo3_core::prelude::{
+    Campaign, Experiment, JobState, JobView, Response, RetryPolicy, ToJson, WireError,
+};
+use bo3_core::wire::ErrorCode;
+
+/// What a job actually runs.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A standalone experiment.
+    Experiment(Box<Experiment>),
+    /// One campaign cell: runs like an experiment but under the campaign's
+    /// retry policy, and its terminal report carries a
+    /// [`bo3_core::campaign::CellResult`].
+    CampaignCell {
+        /// The owning campaign's name.
+        campaign: String,
+        /// Cell index within the campaign grid.
+        index: usize,
+        /// The cell experiment (cell seed already stamped).
+        experiment: Box<Experiment>,
+        /// Retry-with-backoff policy inherited from the campaign.
+        retry: RetryPolicy,
+    },
+}
+
+impl JobSpec {
+    /// The experiment this job drives.
+    pub fn experiment(&self) -> &Experiment {
+        match self {
+            JobSpec::Experiment(e) => e,
+            JobSpec::CampaignCell { experiment, .. } => experiment,
+        }
+    }
+}
+
+/// A line queued for one `stream` subscriber, pre-rendered once by the
+/// controller so N subscribers cost N sends, not N serialisations.
+#[derive(Debug, Clone)]
+pub struct StreamMsg {
+    /// The NDJSON response line (no trailing newline).
+    pub line: String,
+    /// Whether this is the subscription's last line.
+    pub terminal: bool,
+}
+
+/// One job's record in the table.
+pub struct Job {
+    /// Job id (dense, starting at 1).
+    pub id: u64,
+    /// The experiment's name (shown in `status`).
+    pub name: String,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Per-job cancellation flag, shared into the job's `RunBudget`.
+    pub cancel: Arc<AtomicBool>,
+    /// Live subscriber channels (pruned when a send fails).
+    pub subscribers: Vec<Sender<StreamMsg>>,
+    /// Terminal response line (`done` / `failed` / `cancelled`), kept so
+    /// subscribers that arrive after the fact still get an answer.
+    pub terminal_line: Option<String>,
+    /// Error message when `state == Failed`.
+    pub error: Option<String>,
+    /// When the job reached a terminal state (drives TTL eviction).
+    pub finished_at: Option<Instant>,
+}
+
+impl Job {
+    fn view(&self) -> JobView {
+        JobView {
+            job: self.id,
+            state: self.state,
+            name: self.name.clone(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    next_id: u64,
+    accepting: bool,
+}
+
+/// The shared scheduler: job table + queue + worker condvar.
+pub struct Scheduler {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    /// The daemon-wide drain flag, shared into **every** in-flight
+    /// [`bo3_dynamics::checkpoint::RunBudget`].
+    pub drain: Arc<AtomicBool>,
+    job_ttl: Duration,
+}
+
+/// What [`Scheduler::subscribe`] hands a transport thread.
+#[derive(Debug)]
+pub struct Subscription {
+    /// Lines to write immediately (terminal backlog for finished jobs).
+    pub backlog: Vec<StreamMsg>,
+    /// Live channel for a job still in flight (`None` when the backlog
+    /// already ends the stream).
+    pub live: Option<Receiver<StreamMsg>>,
+}
+
+impl Scheduler {
+    /// An empty scheduler accepting submissions.
+    pub fn new(job_ttl: Duration) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                accepting: true,
+            }),
+            work_ready: Condvar::new(),
+            drain: Arc::new(AtomicBool::new(false)),
+            job_ttl,
+        }
+    }
+
+    /// Whether the daemon has begun draining.
+    pub fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    fn refuse_if_draining(state: &State) -> Result<(), WireError> {
+        if state.accepting {
+            Ok(())
+        } else {
+            Err(WireError::new(
+                ErrorCode::ShuttingDown,
+                "daemon is draining; not accepting new jobs",
+            ))
+        }
+    }
+
+    fn evict_expired(&self, state: &mut State) {
+        let ttl = self.job_ttl;
+        let now = Instant::now();
+        state.jobs.retain(|_, job| match job.finished_at {
+            Some(at) => now.duration_since(at) < ttl,
+            None => true,
+        });
+    }
+
+    fn enqueue_locked(&self, state: &mut State, name: String, spec: JobSpec) -> u64 {
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                id,
+                name,
+                spec,
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                subscribers: Vec::new(),
+                terminal_line: None,
+                error: None,
+                finished_at: None,
+            },
+        );
+        state.queue.push_back(id);
+        id
+    }
+
+    /// Enqueues one experiment; returns its job id.
+    pub fn submit(&self, experiment: Box<Experiment>) -> Result<u64, WireError> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        Self::refuse_if_draining(&state)?;
+        self.evict_expired(&mut state);
+        let name = experiment.name.clone();
+        let id = self.enqueue_locked(&mut state, name, JobSpec::Experiment(experiment));
+        drop(state);
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Enqueues every cell of a campaign as its own job (cell seeds were
+    /// stamped by [`Campaign::add_cell`] at build time, so per-cell
+    /// determinism is identical to [`bo3_core::campaign::CampaignRunner`]).
+    pub fn submit_campaign(&self, campaign: Campaign) -> Result<(String, Vec<u64>), WireError> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        Self::refuse_if_draining(&state)?;
+        self.evict_expired(&mut state);
+        let Campaign {
+            name,
+            seed: _,
+            retry,
+            cells,
+        } = campaign;
+        let ids: Vec<u64> = cells
+            .into_iter()
+            .enumerate()
+            .map(|(index, cell)| {
+                let cell_name = cell.name.clone();
+                self.enqueue_locked(
+                    &mut state,
+                    cell_name,
+                    JobSpec::CampaignCell {
+                        campaign: name.clone(),
+                        index,
+                        experiment: Box::new(cell),
+                        retry,
+                    },
+                )
+            })
+            .collect();
+        drop(state);
+        self.work_ready.notify_all();
+        Ok((name, ids))
+    }
+
+    /// Blocks until a job is available or the drain flag rises; workers get
+    /// back the claimed job's id, cancel flag and spec (cloned out so the
+    /// run happens without the lock).
+    pub fn claim(&self) -> Option<(u64, Arc<AtomicBool>, JobSpec)> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        loop {
+            if self.draining() {
+                return None;
+            }
+            // Skip jobs cancelled while still queued.
+            while let Some(&id) = state.queue.front() {
+                let keep = state
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|job| job.state == JobState::Queued);
+                if keep {
+                    break;
+                }
+                state.queue.pop_front();
+            }
+            if let Some(id) = state.queue.pop_front() {
+                let job = state.jobs.get_mut(&id).expect("claimed job exists");
+                job.state = JobState::Running;
+                return Some((id, job.cancel.clone(), job.spec.clone()));
+            }
+            let (next, _timeout) = self
+                .work_ready
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("scheduler lock");
+            state = next;
+        }
+    }
+
+    /// Publishes one progress line to a job's live subscribers, pruning
+    /// channels whose reader hung up.
+    pub fn publish(&self, id: u64, msg: &StreamMsg) {
+        let mut state = self.state.lock().expect("scheduler lock");
+        if let Some(job) = state.jobs.get_mut(&id) {
+            job.subscribers.retain(|tx| tx.send(msg.clone()).is_ok());
+        }
+    }
+
+    /// Records a job's terminal response, notifying and dropping all
+    /// subscribers.  The rendered line is kept for late subscribers.
+    pub fn finish(&self, id: u64, state_now: JobState, response: &Response, error: Option<String>) {
+        debug_assert!(state_now.is_terminal());
+        let line = response.to_json_string();
+        let msg = StreamMsg {
+            line: line.clone(),
+            terminal: true,
+        };
+        let mut state = self.state.lock().expect("scheduler lock");
+        if let Some(job) = state.jobs.get_mut(&id) {
+            job.state = state_now;
+            job.error = error;
+            job.terminal_line = Some(line);
+            job.finished_at = Some(Instant::now());
+            for tx in job.subscribers.drain(..) {
+                let _ = tx.send(msg.clone());
+            }
+        }
+    }
+
+    /// Flags a job for cancellation.  Queued jobs terminate immediately
+    /// (workers skip them); running jobs pause at the next round slice.
+    pub fn cancel(&self, id: u64) -> Result<(), WireError> {
+        let terminal_now = {
+            let mut state = self.state.lock().expect("scheduler lock");
+            let job = state
+                .jobs
+                .get_mut(&id)
+                .ok_or_else(|| WireError::new(ErrorCode::UnknownJob, format!("no job {id}")))?;
+            match job.state {
+                JobState::Queued => true,
+                JobState::Running => {
+                    job.cancel.store(true, Ordering::SeqCst);
+                    false
+                }
+                // Terminal already: cancelling is a no-op acknowledgement.
+                _ => false,
+            }
+        };
+        if terminal_now {
+            self.finish(
+                id,
+                JobState::Cancelled,
+                &Response::Cancelled { job: id },
+                None,
+            );
+        }
+        Ok(())
+    }
+
+    /// Queue depth, running count and per-job views (all jobs, or one).
+    pub fn status(&self, job: Option<u64>) -> Result<Response, WireError> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        self.evict_expired(&mut state);
+        if let Some(id) = job {
+            if !state.jobs.contains_key(&id) {
+                return Err(WireError::new(
+                    ErrorCode::UnknownJob,
+                    format!("no job {id}"),
+                ));
+            }
+        }
+        let queue_depth = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count();
+        let running = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        let mut jobs: Vec<JobView> = state
+            .jobs
+            .values()
+            .filter(|j| job.is_none_or(|id| j.id == id))
+            .map(Job::view)
+            .collect();
+        jobs.sort_by_key(|v| v.job);
+        Ok(Response::Status {
+            queue_depth,
+            running,
+            jobs,
+        })
+    }
+
+    /// Subscribes to a job's stream.  Terminal jobs answer immediately with
+    /// their recorded terminal line; in-flight jobs get a live channel.
+    pub fn subscribe(&self, id: u64) -> Result<Subscription, WireError> {
+        let mut state = self.state.lock().expect("scheduler lock");
+        let job = state
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| WireError::new(ErrorCode::UnknownJob, format!("no job {id}")))?;
+        if job.state.is_terminal() {
+            let line = job
+                .terminal_line
+                .clone()
+                .unwrap_or_else(|| Response::Cancelled { job: id }.to_json_string());
+            return Ok(Subscription {
+                backlog: vec![StreamMsg {
+                    line,
+                    terminal: true,
+                }],
+                live: None,
+            });
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        job.subscribers.push(tx);
+        Ok(Subscription {
+            backlog: Vec::new(),
+            live: Some(rx),
+        })
+    }
+
+    /// Number of jobs waiting for a worker (the queue-depth gauge's source).
+    pub fn queue_depth(&self) -> usize {
+        let state = self.state.lock().expect("scheduler lock");
+        state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
+    }
+
+    /// Begins the drain: stop accepting, raise the shared drain flag (every
+    /// in-flight `RunBudget` sees it at its next round boundary), cancel
+    /// all queued jobs, and wake every worker so they can exit.
+    ///
+    /// Returns the ids of the jobs cancelled while still queued.
+    pub fn begin_drain(&self) -> Vec<u64> {
+        let queued: Vec<u64> = {
+            let mut state = self.state.lock().expect("scheduler lock");
+            state.accepting = false;
+            self.drain.store(true, Ordering::SeqCst);
+            state.queue.clear();
+            state
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Queued)
+                .map(|j| j.id)
+                .collect()
+        };
+        for &id in &queued {
+            self.finish(
+                id,
+                JobState::Cancelled,
+                &Response::Cancelled { job: id },
+                None,
+            );
+        }
+        self.work_ready.notify_all();
+        queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bo3_core::prelude::TopologySpec;
+
+    fn tiny(name: &str) -> Box<Experiment> {
+        Box::new(
+            Experiment::on(TopologySpec::Complete { n: 64 })
+                .named(name)
+                .replicas(1)
+                .seed(7),
+        )
+    }
+
+    #[test]
+    fn fifo_order_and_status_counts() {
+        let s = Scheduler::new(Duration::from_secs(60));
+        let a = s.submit(tiny("a")).unwrap();
+        let b = s.submit(tiny("b")).unwrap();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(s.queue_depth(), 2);
+        let (first, _, _) = s.claim().unwrap();
+        assert_eq!(first, a);
+        match s.status(None).unwrap() {
+            Response::Status {
+                queue_depth,
+                running,
+                jobs,
+            } => {
+                assert_eq!((queue_depth, running), (1, 1));
+                assert_eq!(jobs.len(), 2);
+            }
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_skips_it_and_notifies_subscribers() {
+        let s = Scheduler::new(Duration::from_secs(60));
+        let a = s.submit(tiny("a")).unwrap();
+        let b = s.submit(tiny("b")).unwrap();
+        let sub = s.subscribe(a).unwrap();
+        s.cancel(a).unwrap();
+        let rx = sub.live.expect("live channel for queued job");
+        let msg = rx.recv().unwrap();
+        assert!(msg.terminal);
+        assert!(msg.line.contains("cancelled"));
+        // The worker never sees the cancelled job.
+        let (claimed, _, _) = s.claim().unwrap();
+        assert_eq!(claimed, b);
+    }
+
+    #[test]
+    fn unknown_jobs_are_typed_errors() {
+        let s = Scheduler::new(Duration::from_secs(60));
+        let err = s.cancel(99).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownJob);
+        let err = s.subscribe(99).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownJob);
+        let err = s.status(Some(99)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownJob);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_cancels_the_queue() {
+        let s = Scheduler::new(Duration::from_secs(60));
+        let a = s.submit(tiny("a")).unwrap();
+        let cancelled = s.begin_drain();
+        assert_eq!(cancelled, vec![a]);
+        assert!(s.claim().is_none());
+        let err = s.submit(tiny("b")).unwrap_err();
+        assert_eq!(err.code, ErrorCode::ShuttingDown);
+        // The drained job answers late subscribers with its terminal line.
+        let sub = s.subscribe(a).unwrap();
+        assert!(sub.live.is_none());
+        assert!(sub.backlog[0].terminal);
+    }
+}
