@@ -84,10 +84,21 @@ fn write_snapshot() {
             bo3_bench::obsprobe::json_opt(r.tries_per_draw),
         ));
     }
+    // rows[0] is the complete-graph headline and rows[1] the implicit
+    // G(n, 1/2) headline at the same n, so their throughput ratio tracks
+    // the batched sampler's gap to the closed-form kernel PR over PR.
+    let implicit_over_complete = if rows[0].updates_per_sec > 0.0 {
+        rows[1].updates_per_sec / rows[0].updates_per_sec
+    } else {
+        0.0
+    };
     let json = format!(
         "{{\n  \"experiment\": \"e14_scale\",\n  \"protocol\": \"best-of-3\",\n  \
-         \"quick_mode\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"quick_mode\": {},\n  \"implicit_over_complete\": {:.3},\n  \
+         \"ratio_floor\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
         quick_mode(),
+        implicit_over_complete,
+        bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE,
         body
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
@@ -122,6 +133,15 @@ fn write_snapshot() {
     assert!(
         (headline.topology_bytes as u128) * 1000 < headline.csr_equivalent_bytes,
         "implicit topology must undercut CSR by >1000x, got {headline:?}"
+    );
+    // The batched-sampler floor (shared with the e20 regression bench):
+    // the implicit headline must stay within the committed ratio of the
+    // complete-graph kernel at the same n.
+    assert!(
+        implicit_over_complete >= bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE,
+        "implicit/complete throughput ratio {implicit_over_complete:.3} fell below the committed \
+         floor {:.3} (see BENCH_scale.json)",
+        bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE
     );
 }
 

@@ -65,19 +65,16 @@ fn bench(c: &mut Criterion) {
 /// One timed consensus run under `schedule`, end to end through the
 /// Scenario API (topology build + init sampling + rounds), as everywhere
 /// else in the perf snapshots.
-fn consensus(schedule: Schedule) -> (usize, bool, f64) {
-    let experiment = Experiment::on(TopologySpec::ImplicitGnp {
-        n: SNAPSHOT_N,
-        p: P,
-    })
-    .named(format!("E16/{}", schedule.label()))
-    .protocol(ProtocolSpec::BestOfThree)
-    .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
-    .schedule(schedule)
-    .stopping(StoppingCondition::consensus_within(10_000))
-    .replicas(1)
-    .seed(SEED)
-    .threads(0);
+fn consensus(spec: TopologySpec, schedule: Schedule) -> (usize, bool, f64) {
+    let experiment = Experiment::on(spec)
+        .named(format!("E16/{}", schedule.label()))
+        .protocol(ProtocolSpec::BestOfThree)
+        .initial(InitialCondition::BernoulliWithBias { delta: 0.15 })
+        .schedule(schedule)
+        .stopping(StoppingCondition::consensus_within(10_000))
+        .replicas(1)
+        .seed(SEED)
+        .threads(0);
     let start = Instant::now();
     let result = experiment.run().expect("consensus run");
     let wall = start.elapsed().as_secs_f64();
@@ -99,13 +96,32 @@ fn consensus(schedule: Schedule) -> (usize, bool, f64) {
 /// asynchronous Best-of-Three on implicit `G(10⁶, 1/2)` reaches red
 /// consensus without materialising adjacency.
 fn write_snapshot() {
-    let (sync_rounds, sync_red, sync_ups) = consensus(Schedule::Synchronous);
-    let (async_rounds, async_red, async_ups) = consensus(Schedule::AsynchronousRandomOrder);
+    let gnp = TopologySpec::ImplicitGnp {
+        n: SNAPSHOT_N,
+        p: P,
+    };
+    let (sync_rounds, sync_red, sync_ups) = consensus(gnp.clone(), Schedule::Synchronous);
+    let (async_rounds, async_red, async_ups) = consensus(gnp, Schedule::AsynchronousRandomOrder);
     assert!(
         sync_red && async_red,
         "million-vertex implicit G(n, 1/2) must reach red consensus under both schedules"
     );
     let ratio = async_ups / sync_ups;
+    // The complete-graph async reference at the same n, for the batched-
+    // sampler ratio the e20 regression bench gates on.
+    let (_, complete_red, complete_async_ups) = consensus(
+        TopologySpec::Complete { n: SNAPSHOT_N },
+        Schedule::AsynchronousRandomOrder,
+    );
+    assert!(
+        complete_red,
+        "complete-graph async run must reach red consensus"
+    );
+    let implicit_over_complete = if complete_async_ups > 0.0 {
+        async_ups / complete_async_ups
+    } else {
+        0.0
+    };
     // One metered probe pins the G(n, 1/2) rejection sampler's try rate —
     // the schedule doesn't change the sampler, so one figure covers both.
     let probe = bo3_bench::obsprobe::probe_spec(
@@ -124,8 +140,12 @@ fn write_snapshot() {
          \"quick_mode\": {quick},\n  \"sync_rounds\": {sync_rounds},\n  \
          \"async_rounds\": {async_rounds},\n  \"sync_updates_per_sec\": {sync_ups:.0},\n  \
          \"async_updates_per_sec\": {async_ups:.0},\n  \"async_over_sync\": {ratio:.3},\n  \
+         \"complete_async_updates_per_sec\": {complete_async_ups:.0},\n  \
+         \"implicit_over_complete_async\": {implicit_over_complete:.3},\n  \
+         \"ratio_floor\": {floor:.3},\n  \
          \"sampler_tries_per_draw\": {tries_per_draw}\n}}\n",
         quick = quick_mode(),
+        floor = bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_async.json");
     std::fs::write(path, &json).expect("write BENCH_async.json");
@@ -134,6 +154,15 @@ fn write_snapshot() {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_async.json"),
         "e16_async_schedule",
         &probe.snapshot_json,
+    );
+    // The batched-sampler floor (shared with e20): the async schedule's
+    // round-scoped lane must keep the implicit topology within the
+    // committed ratio of the complete-graph kernel.
+    assert!(
+        implicit_over_complete >= bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE,
+        "implicit/complete async throughput ratio {implicit_over_complete:.3} fell below the \
+         committed floor {:.3} (see BENCH_async.json)",
+        bo3_bench::e20_sampler::MIN_IMPLICIT_OVER_COMPLETE
     );
 }
 

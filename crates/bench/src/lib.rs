@@ -32,6 +32,7 @@ pub mod e14_scale;
 pub mod e15_degree_ranked;
 pub mod e18_phase_surface;
 pub mod e19_service_load;
+pub mod e20_sampler;
 pub mod obsprobe;
 
 use bo3_core::report::Table;

@@ -33,7 +33,10 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use bo3_graph::{CsrGraph, CsrTopology, MeteredTopology, NeighbourSampler, Topology};
+use bo3_graph::{
+    CsrGraph, CsrTopology, MeteredTopology, NeighbourLane, NeighbourSampler, PairHashSpec, Topology,
+};
+use bo3_obs::SamplerMeter;
 
 use crate::adversary::{self, Adversary, AdversaryCounters};
 use crate::checkpoint::{
@@ -366,6 +369,41 @@ impl<T: Topology, O: Observer> Engine<T, O> {
         }
     }
 
+    /// [`Engine::dispatch`] for callers whose chunk RNG is **scoped** — one
+    /// fresh stream per `(master_seed, round, chunk)` work unit, dropped at
+    /// chunk end.  Scoping is what licenses the draw-ahead lane kernel (its
+    /// pre-drawn-but-unconsumed tail is unobservable when nothing else ever
+    /// reads the stream), so hash-defined topologies route through
+    /// [`kernel::try_dispatch_chunk_lane`] here and only here; caller-RNG
+    /// steppers keep the strict scalar [`Engine::dispatch`].  Accepted
+    /// neighbours — and therefore outputs — are bit-identical either way.
+    #[inline]
+    fn dispatch_scoped<R: RngCore + ?Sized>(
+        &self,
+        kind: ProtocolKind,
+        snap: &PackedSnapshot,
+        start: usize,
+        out: &mut [Opinion],
+        rng: &mut R,
+    ) {
+        if self.topo.as_graph().is_none() {
+            if let Some(spec) = self.topo.pair_hash_spec() {
+                if kernel::try_dispatch_chunk_lane(
+                    kind,
+                    spec,
+                    snap,
+                    start,
+                    out,
+                    rng,
+                    self.observer.sampler_meter(),
+                ) {
+                    return;
+                }
+            }
+        }
+        self.dispatch(kind, snap, start, out, rng)
+    }
+
     /// [`adversary::dispatch_chunk_adversarial`] behind the same
     /// meter-or-not routing as [`Engine::dispatch`]: the wrapper forwards
     /// `as_graph`, so the adversarial dispatch's internal CSR-vs-generic
@@ -485,7 +523,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
             None => crate::parallel::run_chunks(self.threads, next, &|chunk, start, out| {
                 let timer = maybe_now(&self.observer);
                 let mut rng = kernel::kernel_chunk_rng(master_seed, round, chunk);
-                self.dispatch(kind, snap_ref, start, out, &mut rng);
+                self.dispatch_scoped(kind, snap_ref, start, out, &mut rng);
                 if let Some(t0) = timer {
                     self.observer
                         .on_chunk(chunk, out.len() as u64, t0.elapsed().as_nanos() as u64);
@@ -553,6 +591,13 @@ impl<T: Topology, O: Observer> Engine<T, O> {
     /// implicit topology samples neighbours arithmetically) — while custom
     /// protocols keep the materialised `dyn` loop.  Both consume `rng`
     /// identically for the protocols both can express.
+    ///
+    /// `scoped` declares that `rng` is a per-round stream dropped when the
+    /// round ends (the seeded `(master_seed, round, ASYNC_ROUND_CHUNK)`
+    /// stream) — the licence the draw-ahead lane sweep needs to pre-draw
+    /// candidates; see the contract in `bo3_graph::topology`.  Caller-held
+    /// RNGs (`step_asynchronous_with`, `run`) pass `false` and stay on the
+    /// strict scalar sweep, preserving their RNG positions draw for draw.
     #[allow(clippy::too_many_arguments)] // private plumbing: scratch buffers ride along
     fn step_async(
         &self,
@@ -565,6 +610,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
         round: u64,
         adv_master: u64,
         dropped: &AtomicU64,
+        scoped: bool,
         rng: &mut dyn RngCore,
     ) {
         // Identity-refill then shuffle: the buffer's allocation is reused
@@ -616,6 +662,22 @@ impl<T: Topology, O: Observer> Engine<T, O> {
                         dropped.fetch_add(lost, Ordering::Relaxed);
                     }
                     return;
+                }
+                if scoped && self.topo.as_graph().is_none() {
+                    if let (Some(k), Some(spec)) =
+                        (kernel::lane_samples(kind), self.topo.pair_hash_spec())
+                    {
+                        async_lane_sweep(
+                            k,
+                            spec,
+                            order,
+                            live,
+                            config,
+                            rng,
+                            self.observer.sampler_meter(),
+                        );
+                        return;
+                    }
                 }
                 match self.observer.sampler_meter() {
                     Some(meter) => async_kernel_sweep(
@@ -749,6 +811,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
             0,
             0,
             &dropped,
+            false,
             rng,
         );
     }
@@ -860,6 +923,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
                             round as u64,
                             0,
                             &dropped,
+                            false,
                             rng,
                         );
                     }
@@ -1051,6 +1115,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
                         round as u64,
                         master_seed,
                         &dropped,
+                        true,
                         &mut rng,
                     );
                 }
@@ -1138,6 +1203,7 @@ impl<T: Topology, O: Observer> Engine<T, O> {
                             round as u64,
                             0,
                             &dropped,
+                            false,
                             &mut rng,
                         );
                     }
@@ -1194,6 +1260,45 @@ fn async_kernel_sweep<T: Topology>(
             live.set(v, new);
             config.set(v, new);
         }
+    }
+}
+
+/// The draw-ahead asynchronous sweep for fixed-draw-count protocols on
+/// hash-defined topologies: [`async_kernel_sweep`] with the per-vertex
+/// scalar sampling replaced by one [`NeighbourLane`] shared across the
+/// round.  Only seeded rounds may take this path — the round RNG is scoped
+/// to `(master_seed, round, ASYNC_ROUND_CHUNK)` and dropped at round end,
+/// which is what makes the lane's pre-drawn tail unobservable — and the
+/// accepted neighbours are bit-identical to the scalar sweep, so the
+/// partially-updated live state evolves identically.
+///
+/// The lane-eligible kinds never reach a tie coin (`kernel::lane_samples`
+/// filters for odd draw counts or `KeepOwn`), so the pure majority decision
+/// [`kernel::decide_pure`] is the whole update rule.
+fn async_lane_sweep(
+    k: usize,
+    spec: PairHashSpec,
+    order: &[usize],
+    live: &mut PackedSnapshot,
+    config: &mut Configuration,
+    rng: &mut dyn RngCore,
+    meter: Option<&SamplerMeter>,
+) {
+    let mut lane = NeighbourLane::new(spec);
+    for &v in order {
+        let mut blues = 0usize;
+        for _ in 0..k {
+            let (w, _) = lane.sample(v, rng);
+            blues += live.is_blue(w) as usize;
+        }
+        let new = kernel::decide_pure(blues, k, live.get(v));
+        if live.get(v) != new {
+            live.set(v, new);
+            config.set(v, new);
+        }
+    }
+    if let Some(meter) = meter {
+        meter.record_lane(lane.consumed(), (order.len() * k) as u64, lane.drawn());
     }
 }
 

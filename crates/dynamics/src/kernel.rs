@@ -70,7 +70,8 @@
 use rand::RngCore;
 
 use bo3_graph::topology::lemire_index;
-use bo3_graph::{Complete, CsrGraph, CsrTopology, Topology, VertexId};
+use bo3_graph::{Complete, CsrGraph, CsrTopology, NeighbourLane, PairHashSpec, Topology, VertexId};
+use bo3_obs::SamplerMeter;
 
 use crate::opinion::Opinion;
 use crate::protocol::{resolve_majority, Protocol, TieRule, UpdateContext};
@@ -332,7 +333,7 @@ trait BatchCore: Copy {
 /// keep-own tie.  Callers guarantee the random-coin tie is unreachable
 /// (odd `k`, or `TieRule::KeepOwn`).
 #[inline(always)]
-fn decide_pure(blues: usize, k: usize, current: Opinion) -> Opinion {
+pub(crate) fn decide_pure(blues: usize, k: usize, current: Opinion) -> Opinion {
     let reds = k - blues;
     match blues.cmp(&reds) {
         std::cmp::Ordering::Greater => Opinion::Blue,
@@ -682,6 +683,97 @@ fn update_chunk_batched<C: BatchCore, R: RngCore + ?Sized>(
     }
 }
 
+/// Fixed draws per vertex under `kind`, when the protocol's RNG
+/// consumption is sample-draws only (no reachable tie coin): these are the
+/// protocols the draw-ahead lane kernel may batch, because pre-drawing
+/// can only commute with a stream that is pure `next_u64` samples.
+/// `None` for coin protocols (interleaved `next_u32` tie draws) and the
+/// sample-free local majority.
+pub(crate) fn lane_samples(kind: ProtocolKind) -> Option<usize> {
+    match kind {
+        ProtocolKind::Voter => Some(1),
+        ProtocolKind::BestOfThree => Some(3),
+        ProtocolKind::BestOfTwo(TieRule::KeepOwn) => Some(2),
+        ProtocolKind::BestOfK { k, tie_rule } if k % 2 == 1 || tie_rule == TieRule::KeepOwn => {
+            Some(k)
+        }
+        _ => None,
+    }
+}
+
+/// The draw-ahead chunk kernel for fixed-draw-count protocols on a
+/// hash-defined topology: one [`NeighbourLane`] per chunk, refilled from
+/// the chunk's scoped RNG, serving the same accepted neighbours (and try
+/// counts) as [`update_chunk_sampled`] over the scalar sampler — see the
+/// draw-ahead contract in `bo3_graph::topology`.  The caller owns the
+/// decision that the chunk's RNG is scoped (dropped at chunk end), which
+/// is what makes the lane's discarded pre-draw tail unobservable.
+///
+/// Metering happens here, not through `MeteredTopology` (the lane never
+/// calls `sample_neighbour`): one [`SamplerMeter::record_lane`] per chunk
+/// with totals identical to the scalar metered path, plus the lane
+/// occupancy only this path can report.
+fn update_chunk_lane<C: BatchCore, R: RngCore + ?Sized>(
+    core: C,
+    spec: PairHashSpec,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+    meter: Option<&SamplerMeter>,
+) {
+    let k = core.samples();
+    let mut lane = NeighbourLane::new(spec);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let v = start + i;
+        let mut blues = 0usize;
+        for _ in 0..k {
+            let (w, _) = lane.sample(v, rng);
+            blues += snap.is_blue(w) as usize;
+        }
+        *slot = core.decide(blues, snap.get(v));
+    }
+    if let Some(meter) = meter {
+        meter.record_lane(lane.consumed(), (out.len() * k) as u64, lane.drawn());
+    }
+}
+
+/// Routes one chunk through the draw-ahead lane kernel when both the
+/// protocol (fixed draws, no tie coin) and the topology (hash-defined,
+/// exposes a [`PairHashSpec`]) support it.  Returns `false` — caller falls
+/// back to [`dispatch_chunk_topology`] — otherwise.  Only seeded steppers
+/// whose chunk RNG is scoped may call this; see the draw-ahead contract.
+pub(crate) fn try_dispatch_chunk_lane<R: RngCore + ?Sized>(
+    kind: ProtocolKind,
+    spec: PairHashSpec,
+    snap: &PackedSnapshot,
+    start: usize,
+    out: &mut [Opinion],
+    rng: &mut R,
+    meter: Option<&SamplerMeter>,
+) -> bool {
+    match kind {
+        ProtocolKind::Voter => update_chunk_lane(VoterKernel, spec, snap, start, out, rng, meter),
+        ProtocolKind::BestOfThree => {
+            update_chunk_lane(BestOfThreeKernel, spec, snap, start, out, rng, meter)
+        }
+        ProtocolKind::BestOfTwo(TieRule::KeepOwn) => update_chunk_lane(
+            BestOfKPureKernel { k: 2 },
+            spec,
+            snap,
+            start,
+            out,
+            rng,
+            meter,
+        ),
+        ProtocolKind::BestOfK { k, tie_rule } if k % 2 == 1 || tie_rule == TieRule::KeepOwn => {
+            update_chunk_lane(BestOfKPureKernel { k }, spec, snap, start, out, rng, meter)
+        }
+        _ => return false,
+    }
+    true
+}
+
 /// Routes one fixed-draw-count chunk to the best kernel the topology
 /// supports: topologies with materialised CSR arrays take the
 /// software-pipelined [`update_chunk_batched`] path (overlapping the
@@ -922,6 +1014,171 @@ mod tests {
         assert_eq!(wrapped.kind(), None);
         assert_eq!(wrapped.name(), BestOfThree::new().name());
         assert_eq!(wrapped.sample_size(), 3);
+    }
+
+    /// The draw-ahead lane kernel must produce the same opinions as the
+    /// scalar sampled kernel from the same starting RNG state — the chunk
+    /// half of the batched sampler's bit-identity contract (the final RNG
+    /// positions legitimately differ; the engine only calls the lane where
+    /// the chunk RNG is dropped afterwards).
+    #[test]
+    fn lane_chunk_matches_scalar_chunk_on_hash_defined_topologies() {
+        use bo3_graph::{ImplicitGnp, ImplicitSbm};
+        let n = 300;
+        let opinions: Vec<Opinion> = {
+            let mut rng = StdRng::seed_from_u64(8);
+            (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        Opinion::Blue
+                    } else {
+                        Opinion::Red
+                    }
+                })
+                .collect()
+        };
+        let snap = PackedSnapshot::from_opinions(&opinions);
+        let kinds = [
+            ProtocolKind::Voter,
+            ProtocolKind::BestOfThree,
+            ProtocolKind::BestOfTwo(TieRule::KeepOwn),
+            ProtocolKind::BestOfK {
+                k: 5,
+                tie_rule: TieRule::Random,
+            },
+            ProtocolKind::BestOfK {
+                k: 6,
+                tie_rule: TieRule::KeepOwn,
+            },
+        ];
+        let gnp_specs: Vec<_> = [0.05, 0.3, 0.5, 0.9]
+            .iter()
+            .map(|&p| {
+                ImplicitGnp::new(n, p, 17)
+                    .unwrap()
+                    .pair_hash_spec()
+                    .unwrap()
+            })
+            .collect();
+        let sbm = ImplicitSbm::new(n, 4, 0.6, 0.15, 19).unwrap();
+        let gnp_topos: Vec<_> = [0.05, 0.3, 0.5, 0.9]
+            .iter()
+            .map(|&p| ImplicitGnp::new(n, p, 17).unwrap())
+            .collect();
+        for kind in kinds {
+            for i in 0..gnp_specs.len() {
+                let spec = gnp_specs[i];
+                let topo = &gnp_topos[i];
+                let mut lane_out = vec![Opinion::Red; n];
+                let mut lane_rng = StdRng::seed_from_u64(77);
+                assert!(try_dispatch_chunk_lane(
+                    kind,
+                    spec,
+                    &snap,
+                    0,
+                    &mut lane_out,
+                    &mut lane_rng,
+                    None
+                ));
+                let mut scalar_out = vec![Opinion::Red; n];
+                let mut scalar_rng = StdRng::seed_from_u64(77);
+                update_chunk_sampled(
+                    BestOfKPureKernel {
+                        k: lane_samples(kind).unwrap(),
+                    },
+                    topo,
+                    &snap,
+                    0,
+                    &mut scalar_out,
+                    &mut scalar_rng,
+                );
+                assert_eq!(
+                    lane_out,
+                    scalar_out,
+                    "{kind:?} diverged on {}",
+                    topo.label()
+                );
+            }
+            // SBM: compare through the full dispatch against the scalar
+            // dispatch (same kernels, scalar sampler).
+            let spec = sbm.pair_hash_spec().unwrap();
+            let mut lane_out = vec![Opinion::Red; n];
+            let mut lane_rng = StdRng::seed_from_u64(78);
+            assert!(try_dispatch_chunk_lane(
+                kind,
+                spec,
+                &snap,
+                0,
+                &mut lane_out,
+                &mut lane_rng,
+                None
+            ));
+            let mut scalar_out = vec![Opinion::Red; n];
+            let mut scalar_rng = StdRng::seed_from_u64(78);
+            dispatch_chunk_topology(kind, &sbm, &snap, 0, &mut scalar_out, &mut scalar_rng);
+            assert_eq!(lane_out, scalar_out, "{kind:?} diverged on {}", sbm.label());
+        }
+        // Coin protocols and local majority must refuse the lane.
+        let spec = gnp_specs[0];
+        let mut out = vec![Opinion::Red; n];
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [
+            ProtocolKind::BestOfTwo(TieRule::Random),
+            ProtocolKind::BestOfK {
+                k: 4,
+                tie_rule: TieRule::Random,
+            },
+            ProtocolKind::LocalMajority(TieRule::KeepOwn),
+        ] {
+            assert!(!try_dispatch_chunk_lane(
+                kind, spec, &snap, 0, &mut out, &mut rng, None
+            ));
+        }
+    }
+
+    /// Lane metering must report the same tries/accepts totals as the
+    /// scalar metered path, plus a sane occupancy.
+    #[test]
+    fn lane_metering_matches_scalar_metering_totals() {
+        use bo3_graph::{ImplicitGnp, MeteredTopology};
+        let n = 256;
+        let topo = ImplicitGnp::new(n, 0.3, 23).unwrap();
+        let snap = PackedSnapshot::all_red(n);
+
+        let lane_meter = SamplerMeter::new();
+        let mut lane_out = vec![Opinion::Red; n];
+        let mut lane_rng = StdRng::seed_from_u64(5);
+        assert!(try_dispatch_chunk_lane(
+            ProtocolKind::BestOfThree,
+            topo.pair_hash_spec().unwrap(),
+            &snap,
+            0,
+            &mut lane_out,
+            &mut lane_rng,
+            Some(&lane_meter),
+        ));
+
+        let scalar_meter = SamplerMeter::new();
+        let metered = MeteredTopology::new(&topo, &scalar_meter);
+        let mut scalar_out = vec![Opinion::Red; n];
+        let mut scalar_rng = StdRng::seed_from_u64(5);
+        dispatch_chunk_topology(
+            ProtocolKind::BestOfThree,
+            &metered,
+            &snap,
+            0,
+            &mut scalar_out,
+            &mut scalar_rng,
+        );
+
+        assert_eq!(lane_out, scalar_out);
+        assert_eq!(lane_meter.tries(), scalar_meter.tries());
+        assert_eq!(lane_meter.accepts(), scalar_meter.accepts());
+        assert_eq!(lane_meter.accepts(), 3 * n as u64);
+        // Occupancy is only reported by the lane path, and is a fraction.
+        let occupancy = lane_meter.lane_occupancy().unwrap();
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+        assert_eq!(scalar_meter.lane_occupancy(), None);
     }
 
     /// Every kernel must consume the same RNG stream and produce the same

@@ -110,6 +110,9 @@ impl Observer for NoopObserver {
 /// * `sampler_tries_total` / `sampler_accepts_total` — rejection-sampling
 ///   effort inside implicit topologies (tries per accepted draw is the
 ///   implicit-graph throughput-gap diagnostic);
+/// * `sampler_lane_drawn_total` / `sampler_lane_consumed_total` —
+///   batch-lane occupancy of the draw-ahead sampler (consumed ÷ drawn; the
+///   gap is the discarded pre-draw tail);
 /// * `adversary_dropped_samples_total`, `adversary_partition_rounds_total`,
 ///   `adversary_zealots` / `adversary_byzantine` — what an attached
 ///   adversary did.
@@ -150,6 +153,16 @@ impl MetricsObserver {
             registry.counter(
                 "sampler_accepts_total",
                 "Accepted neighbour draws in implicit topologies",
+            ),
+        )
+        .with_lane_counters(
+            registry.counter(
+                "sampler_lane_drawn_total",
+                "Candidates pre-drawn into batched sampler lanes",
+            ),
+            registry.counter(
+                "sampler_lane_consumed_total",
+                "Lane candidates consumed as tries (drawn minus consumed is the discarded tail)",
             ),
         );
         let adv_dropped = registry.counter(
@@ -313,5 +326,20 @@ mod tests {
         let json = obs.registry().snapshot_json();
         assert!(json.contains("\"sampler_tries_total\":6"));
         assert!(json.contains("\"sampler_accepts_total\":2"));
+    }
+
+    #[test]
+    fn lane_occupancy_counters_are_wired_into_the_registry() {
+        let obs = MetricsObserver::new();
+        let meter = obs.sampler_meter().unwrap();
+        meter.record_lane(20, 10, 32);
+        assert_eq!(meter.lane_occupancy(), Some(0.625));
+        let json = obs.registry().snapshot_json();
+        assert!(json.contains("\"sampler_lane_drawn_total\":32"));
+        assert!(json.contains("\"sampler_lane_consumed_total\":20"));
+        // Lane recording feeds the same tries/accepts totals as scalar
+        // recording would have.
+        assert!(json.contains("\"sampler_tries_total\":20"));
+        assert!(json.contains("\"sampler_accepts_total\":10"));
     }
 }

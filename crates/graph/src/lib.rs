@@ -47,6 +47,7 @@ pub mod degree;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod lane;
 pub mod metered;
 pub mod oracle;
 pub mod properties;
@@ -59,13 +60,14 @@ pub mod traversal;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::{GraphError, Result};
+pub use lane::{NeighbourLane, PairHashSpec, LANE_WIDTH};
 pub use metered::MeteredTopology;
 pub use oracle::{DegreeClass, DegreeOracle, DegreeWindow, DEGREE_ORACLE_FAILURE_PROBABILITY};
 pub use sampling::NeighbourSampler;
 pub use spec::{BuiltTopology, TopologySpec, GRAPH_SEED_SALT};
 pub use topology::{
     Complete, CompleteBipartite, CompleteMultipartite, CsrTopology, ImplicitGnp, ImplicitSbm,
-    Topology,
+    ScalarSampled, Topology,
 };
 
 /// Largest vertex count the dense whole-graph analyses (`spectral::lambda2`,

@@ -15,6 +15,7 @@ use bo3_obs::SamplerMeter;
 use rand::RngCore;
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::lane::PairHashSpec;
 use crate::oracle::DegreeOracle;
 use crate::topology::Topology;
 
@@ -97,6 +98,10 @@ impl<T: Topology> Topology for MeteredTopology<'_, T> {
 
     fn is_all_but_self(&self) -> bool {
         self.inner.is_all_but_self()
+    }
+
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        self.inner.pair_hash_spec()
     }
 
     fn cheap_rows(&self) -> bool {

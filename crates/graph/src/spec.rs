@@ -422,6 +422,10 @@ impl Topology for BuiltTopology {
         delegate_topology!(self, t => t.is_all_but_self())
     }
 
+    fn pair_hash_spec(&self) -> Option<crate::lane::PairHashSpec> {
+        delegate_topology!(self, t => t.pair_hash_spec())
+    }
+
     fn cheap_rows(&self) -> bool {
         delegate_topology!(self, t => t.cheap_rows())
     }

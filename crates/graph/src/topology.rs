@@ -45,11 +45,34 @@
 //! sequential-equals-parallel guarantee derives per-chunk RNG streams
 //! *outside* the topology, so both properties compose: a seeded run on any
 //! topology is bit-identical at any thread count.
+//!
+//! # The draw-ahead (batched) sampling contract
+//!
+//! The hash-defined topologies additionally expose their frozen edge set as
+//! a copyable [`PairHashSpec`] (via [`Topology::pair_hash_spec`]), which the
+//! batched sampler in [`crate::lane`] evaluates SIMD-wide.  A
+//! [`crate::NeighbourLane`] over that spec **pre-draws** candidates with
+//! sequential `next_u64` calls and consumes them strictly in draw order, so
+//! every accepted neighbour and every per-draw try count is *bit-identical*
+//! to the scalar `sample_neighbour_tries` loop here — the only observable
+//! difference is the RNG's final position, because a lane may hold
+//! drawn-but-unconsumed tail values when it is dropped.  Two rules keep that
+//! sound, and observers/checkpoints rely on both:
+//!
+//! * **consume-in-order** — a lane never reorders or skips draws; try `i`
+//!   of a vertex's sample is always the `i`-th pre-drawn candidate;
+//! * **discard-tail** — lanes are only used where the RNG stream is scoped
+//!   to the work unit (the per-`(seed, round, chunk)` kernel streams and
+//!   the per-round async stream) and dropped at its end, so the pre-drawn
+//!   tail is never observed by later draws.  Entry points fed a caller's
+//!   long-lived RNG keep the scalar sampler, whose final stream position is
+//!   part of their contract.
 
 use rand::RngCore;
 
 use crate::csr::{CsrGraph, VertexId};
 use crate::error::{GraphError, Result};
+use crate::lane::{self, PairHashSpec};
 use crate::oracle::{
     concentration_window, DegreeClass, DegreeOracle, DEGREE_ORACLE_FAILURE_PROBABILITY,
 };
@@ -61,7 +84,7 @@ use crate::oracle::{
 /// tripping this cap means the vertex is (effectively) isolated and the
 /// topology is outside its supported regime; panicking loudly beats looping
 /// forever.
-const MAX_REJECTIONS: usize = 1 << 20;
+pub(crate) const MAX_REJECTIONS: usize = 1 << 20;
 
 /// Maps one `u64` draw onto `[0, n)` with Lemire's multiply-shift reduction.
 ///
@@ -78,7 +101,7 @@ pub fn lemire_index(draw: u64, n: usize) -> usize {
 /// SplitMix64 finaliser: the avalanching mix shared by the stream-id
 /// derivations in `bo3-dynamics` and the pairwise edge hash here.
 #[inline(always)]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -89,7 +112,7 @@ fn mix64(mut z: u64) -> u64 {
 /// purposes of Monte-Carlo work (two chained SplitMix64 finalisation
 /// rounds).  Symmetric by construction (the pair is canonicalised).
 #[inline(always)]
-fn pair_hash(seed: u64, u: VertexId, v: VertexId) -> u64 {
+pub(crate) fn pair_hash(seed: u64, u: VertexId, v: VertexId) -> u64 {
     let (a, b) = if u < v { (u, v) } else { (v, u) };
     let lo = mix64(seed.wrapping_add((a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
     mix64(lo ^ (b as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
@@ -229,6 +252,16 @@ pub trait Topology: Sync {
         false
     }
 
+    /// The copyable frozen-hash edge-set description behind this topology,
+    /// when it is hash-defined — what the batched draw-ahead sampler
+    /// ([`crate::NeighbourLane`]) evaluates SIMD-wide.  `None` (the
+    /// default) for closed-form and materialised topologies, whose scalar
+    /// samplers are already one draw per accept.  See the module-level
+    /// draw-ahead contract for when callers may batch over this.
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        None
+    }
+
     /// `true` when [`Topology::for_each_neighbour`] costs `O(deg)` (stored
     /// or closed-form rows).  Hash-defined topologies return `false`: their
     /// row enumeration tests all `n − 1` candidate pairs, so
@@ -303,6 +336,10 @@ impl<T: Topology + ?Sized> Topology for &T {
 
     fn is_all_but_self(&self) -> bool {
         (**self).is_all_but_self()
+    }
+
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        (**self).pair_hash_spec()
     }
 
     fn cheap_rows(&self) -> bool {
@@ -629,6 +666,13 @@ impl ImplicitGnp {
     pub fn materialize(&self) -> Result<CsrGraph> {
         materialize(self)
     }
+
+    /// The copyable frozen edge-set description the batched sampler and
+    /// the mask-based row walks evaluate.
+    #[inline]
+    fn spec(&self) -> PairHashSpec {
+        PairHashSpec::gnp(self.n, self.p, self.seed, self.threshold)
+    }
 }
 
 impl Topology for ImplicitGnp {
@@ -638,7 +682,7 @@ impl Topology for ImplicitGnp {
 
     fn degree(&self, v: VertexId) -> usize {
         debug_assert!(v < self.n);
-        (0..self.n).filter(|&w| self.has_edge(v, w)).count()
+        lane::row_degree(&self.spec(), v)
     }
 
     #[inline(always)]
@@ -664,23 +708,19 @@ impl Topology for ImplicitGnp {
                 return (w, tries);
             }
         }
-        panic!(
-            "vertex {v} of {} appears isolated (p = {}): implicit G(n,p) requires the dense regime",
-            self.label(),
-            self.p
-        );
+        self.spec().isolated_panic(v)
     }
 
-    fn for_each_neighbour<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
-        for w in (0..self.n).filter(|&w| w != v) {
-            if (pair_hash(self.seed, v, w) as u128) < self.threshold {
-                f(w);
-            }
-        }
+    fn for_each_neighbour<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        lane::row_for_each(&self.spec(), v, f)
     }
 
     fn cheap_rows(&self) -> bool {
         false
+    }
+
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        Some(self.spec())
     }
 
     fn degree_oracle(&self) -> Option<DegreeOracle> {
@@ -785,6 +825,21 @@ impl ImplicitSbm {
     pub fn materialize(&self) -> Result<CsrGraph> {
         materialize(self)
     }
+
+    /// The copyable frozen edge-set description the batched sampler and
+    /// the mask-based row walks evaluate.
+    #[inline]
+    fn spec(&self) -> PairHashSpec {
+        PairHashSpec::sbm(
+            self.n,
+            self.block_size,
+            self.p_in,
+            self.p_out,
+            self.seed,
+            self.threshold_in,
+            self.threshold_out,
+        )
+    }
 }
 
 impl Topology for ImplicitSbm {
@@ -794,7 +849,7 @@ impl Topology for ImplicitSbm {
 
     fn degree(&self, v: VertexId) -> usize {
         debug_assert!(v < self.n);
-        (0..self.n).filter(|&w| self.has_edge(v, w)).count()
+        lane::row_degree(&self.spec(), v)
     }
 
     #[inline(always)]
@@ -828,22 +883,19 @@ impl Topology for ImplicitSbm {
                 return (w, tries);
             }
         }
-        panic!(
-            "vertex {v} of {} appears isolated: implicit SBM requires the dense regime",
-            self.label()
-        );
+        self.spec().isolated_panic(v)
     }
 
-    fn for_each_neighbour<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
-        for w in (0..self.n).filter(|&w| w != v) {
-            if self.has_edge(v, w) {
-                f(w);
-            }
-        }
+    fn for_each_neighbour<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        lane::row_for_each(&self.spec(), v, f)
     }
 
     fn cheap_rows(&self) -> bool {
         false
+    }
+
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        Some(self.spec())
     }
 
     fn degree_oracle(&self) -> Option<DegreeOracle> {
@@ -942,6 +994,92 @@ impl Topology for CsrTopology<'_> {
             self.graph.num_vertices(),
             self.graph.num_edges()
         )
+    }
+}
+
+/// A wrapper that hides the inner topology's [`PairHashSpec`], forcing
+/// every engine path back onto the strict scalar rejection sampler.
+///
+/// Because the batched lane consumes the RNG stream in scalar order, an
+/// engine over `ScalarSampled<T>` must produce **bit-identical** dynamics
+/// to the same engine over `T` — that equivalence is pinned by the
+/// cross-crate `lane_sampler` tests, and the throughput gap between the
+/// two is what the `e20_sampler` bench gates on (a self-relative floor
+/// that holds on any machine, unlike absolute updates/s).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarSampled<T>(pub T);
+
+impl<T: Topology> Topology for ScalarSampled<T> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.0.degree(v)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.0.has_edge(u, v)
+    }
+
+    #[inline(always)]
+    fn sample_neighbour<R: RngCore + ?Sized>(&self, v: VertexId, rng: &mut R) -> VertexId {
+        self.0.sample_neighbour(v, rng)
+    }
+
+    #[inline(always)]
+    fn sample_neighbour_tries<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> (VertexId, u64) {
+        self.0.sample_neighbour_tries(v, rng)
+    }
+
+    fn sample_neighbours_into<R: RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        out: &mut [VertexId],
+        rng: &mut R,
+    ) {
+        self.0.sample_neighbours_into(v, out, rng)
+    }
+
+    fn for_each_neighbour<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        self.0.for_each_neighbour(v, f)
+    }
+
+    fn as_csr(&self) -> Option<(&[usize], &[VertexId])> {
+        self.0.as_csr()
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        self.0.as_graph()
+    }
+
+    fn degree_oracle(&self) -> Option<DegreeOracle> {
+        self.0.degree_oracle()
+    }
+
+    fn is_all_but_self(&self) -> bool {
+        self.0.is_all_but_self()
+    }
+
+    /// Always `None` — this is the whole point of the wrapper.
+    fn pair_hash_spec(&self) -> Option<PairHashSpec> {
+        None
+    }
+
+    fn cheap_rows(&self) -> bool {
+        self.0.cheap_rows()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+
+    fn label(&self) -> String {
+        format!("scalar({})", self.0.label())
     }
 }
 

@@ -184,6 +184,8 @@ impl Log2Histogram {
 pub struct SamplerMeter {
     tries: Arc<Counter>,
     accepts: Arc<Counter>,
+    lane_drawn: Arc<Counter>,
+    lane_consumed: Arc<Counter>,
 }
 
 impl Default for SamplerMeter {
@@ -198,12 +200,29 @@ impl SamplerMeter {
         SamplerMeter {
             tries: Arc::new(Counter::new()),
             accepts: Arc::new(Counter::new()),
+            lane_drawn: Arc::new(Counter::new()),
+            lane_consumed: Arc::new(Counter::new()),
         }
     }
 
-    /// A meter over counters that already live in a registry.
+    /// A meter over counters that already live in a registry (the lane
+    /// counters stay free-standing unless [`Self::with_lane_counters`]
+    /// replaces them too).
     pub fn from_counters(tries: Arc<Counter>, accepts: Arc<Counter>) -> Self {
-        SamplerMeter { tries, accepts }
+        SamplerMeter {
+            tries,
+            accepts,
+            lane_drawn: Arc::new(Counter::new()),
+            lane_consumed: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Routes the batch-lane occupancy counters through registry-owned
+    /// instruments as well.
+    pub fn with_lane_counters(mut self, drawn: Arc<Counter>, consumed: Arc<Counter>) -> Self {
+        self.lane_drawn = drawn;
+        self.lane_consumed = consumed;
+        self
     }
 
     /// Records one accepted draw that consumed `tries` candidate tries.
@@ -211,6 +230,20 @@ impl SamplerMeter {
     pub fn record(&self, tries: u64) {
         self.tries.add(tries);
         self.accepts.inc();
+    }
+
+    /// Records a whole batched-sampler lane's worth of work at once:
+    /// `consumed` candidate tries producing `accepts` accepted draws, out
+    /// of `drawn` candidates pre-drawn into the lane.  Tries/accepts
+    /// totals stay identical to the scalar path recording the same work
+    /// draw by draw; the extra drawn/consumed pair is what makes
+    /// wasted-lane overhead (the discarded tail) visible.
+    #[inline]
+    pub fn record_lane(&self, consumed: u64, accepts: u64, drawn: u64) {
+        self.tries.add(consumed);
+        self.accepts.add(accepts);
+        self.lane_drawn.add(drawn);
+        self.lane_consumed.add(consumed);
     }
 
     /// Total candidate tries.
@@ -223,10 +256,29 @@ impl SamplerMeter {
         self.accepts.get()
     }
 
+    /// Total candidates pre-drawn into batch lanes (0 on scalar-only runs).
+    pub fn lane_drawn(&self) -> u64 {
+        self.lane_drawn.get()
+    }
+
+    /// Total lane candidates consumed as tries; `lane_drawn − lane_consumed`
+    /// is the discarded draw-ahead tail.
+    pub fn lane_consumed(&self) -> u64 {
+        self.lane_consumed.get()
+    }
+
     /// Mean tries per accepted draw, `None` before any draw.
     pub fn tries_per_draw(&self) -> Option<f64> {
         let accepts = self.accepts();
         (accepts > 0).then(|| self.tries() as f64 / accepts as f64)
+    }
+
+    /// Batch-lane occupancy: fraction of pre-drawn candidates actually
+    /// consumed as tries (`None` before any lane ran).  `1 − occupancy` is
+    /// the draw-ahead waste the batched sampler trades for SIMD width.
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        let drawn = self.lane_drawn();
+        (drawn > 0).then(|| self.lane_consumed() as f64 / drawn as f64)
     }
 }
 
@@ -480,6 +532,25 @@ mod tests {
         assert_eq!(meter.tries(), 4);
         assert_eq!(meter.accepts(), 2);
         assert_eq!(meter.tries_per_draw(), Some(2.0));
+    }
+
+    #[test]
+    fn sampler_meter_tracks_lane_occupancy() {
+        let meter = SamplerMeter::new();
+        assert_eq!(meter.lane_occupancy(), None);
+        // A lane that drew 64 candidates, consumed 48 of them as tries and
+        // produced 30 accepted draws — tries/accepts identical to the
+        // scalar path, occupancy 0.75.
+        meter.record_lane(48, 30, 64);
+        assert_eq!(meter.tries(), 48);
+        assert_eq!(meter.accepts(), 30);
+        assert_eq!(meter.lane_drawn(), 64);
+        assert_eq!(meter.lane_consumed(), 48);
+        assert_eq!(meter.lane_occupancy(), Some(0.75));
+        // Scalar recording leaves the lane counters untouched.
+        meter.record(2);
+        assert_eq!(meter.tries(), 50);
+        assert_eq!(meter.lane_drawn(), 64);
     }
 
     #[test]
